@@ -1,0 +1,50 @@
+package hopdb
+
+import "sync"
+
+// QueryPair is one (source, target) request for DistanceBatch.
+type QueryPair struct {
+	S, T int32
+}
+
+// DistanceBatch answers many queries, sharding them across workers
+// goroutines (<= 1 runs serially). The index is read-only during queries,
+// so this is safe; results[i] corresponds to pairs[i], with Infinity for
+// unreachable pairs. Throughput-oriented callers (batch analytics,
+// betweenness estimation) should prefer this over a Distance loop.
+func (x *Index) DistanceBatch(pairs []QueryPair, workers int) []uint32 {
+	results := make([]uint32, len(pairs))
+	if len(pairs) == 0 {
+		return results
+	}
+	if workers <= 1 {
+		for i, p := range pairs {
+			results[i], _ = x.Distance(p.S, p.T)
+		}
+		return results
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				results[i], _ = x.Distance(pairs[i].S, pairs[i].T)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}

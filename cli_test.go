@@ -1,0 +1,109 @@
+package hopdb
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd binaries into dir.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestCLIPipeline drives the full toolchain: generate a graph, inspect
+// it, build both index formats, and query them.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	genBin := buildTool(t, dir, "hopdb-gen")
+	statsBin := buildTool(t, dir, "hopdb-stats")
+	buildBin := buildTool(t, dir, "hopdb-build")
+	queryBin := buildTool(t, dir, "hopdb-query")
+
+	graphPath := filepath.Join(dir, "g.txt")
+	out, err := exec.Command(genBin, "-model", "glp", "-n", "800", "-density", "4", "-seed", "3", "-o", graphPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hopdb-gen: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(graphPath); err != nil {
+		t.Fatalf("graph file missing: %v", err)
+	}
+
+	out, err = exec.Command(statsBin, "-in", graphPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hopdb-stats: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "rank exponent") {
+		t.Errorf("stats output unexpected:\n%s", out)
+	}
+
+	idxPath := filepath.Join(dir, "g.idx")
+	diskPath := filepath.Join(dir, "g.didx")
+	out, err = exec.Command(buildBin, "-in", graphPath, "-o", idxPath, "-disk", diskPath, "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hopdb-build: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "built:") {
+		t.Errorf("build output unexpected:\n%s", out)
+	}
+
+	// External build path as well.
+	extIdx := filepath.Join(dir, "g-ext.idx")
+	out, err = exec.Command(buildBin, "-in", graphPath, "-o", extIdx, "-external", "-tmp", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hopdb-build -external: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "external I/O") {
+		t.Errorf("external build output missing I/O line:\n%s", out)
+	}
+
+	// Query both formats and compare answers.
+	queries := "0 1\n5 99\n700 3\n"
+	run := func(args ...string) string {
+		cmd := exec.Command(queryBin, args...)
+		cmd.Stdin = strings.NewReader(queries)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("hopdb-query %v: %v", args, err)
+		}
+		return string(out)
+	}
+	memOut := run("-idx", idxPath)
+	diskOut := run("-disk", diskPath)
+	extOut := run("-idx", extIdx)
+	if memOut != diskOut || memOut != extOut {
+		t.Errorf("query outputs differ:\nmem:\n%s\ndisk:\n%s\next:\n%s", memOut, diskOut, extOut)
+	}
+	if len(strings.Split(strings.TrimSpace(memOut), "\n")) != 3 {
+		t.Errorf("expected 3 answers, got:\n%s", memOut)
+	}
+}
+
+// TestCLIBenchSmoke runs one tiny bench section through the CLI.
+func TestCLIBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI bench is slow; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	benchBin := buildTool(t, dir, "hopdb-bench")
+	out, err := exec.Command(benchBin, "-datasets", "enron", "-scale", "0.2", "-queries", "50", "table7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hopdb-bench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "enron") {
+		t.Errorf("bench output unexpected:\n%s", out)
+	}
+}

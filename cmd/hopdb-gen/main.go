@@ -1,0 +1,84 @@
+// Command hopdb-gen generates synthetic graphs in the text edge-list
+// format: the GLP scale-free model the paper uses for its synthetic
+// study, Barabasi-Albert, a directed power-law model, Erdos-Renyi, and
+// small deterministic families.
+//
+// Usage:
+//
+//	hopdb-gen -model glp -n 100000 -density 10 -seed 1 -o graph.txt
+//	hopdb-gen -model powerlaw -n 50000 -density 5 -alpha 2.2 -o web.txt
+//	hopdb-gen -model grid -rows 100 -cols 100 -maxw 10 -o road.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "glp", "generator: glp | ba | powerlaw | er | star | grid")
+		n       = flag.Int("n", 10000, "number of vertices")
+		density = flag.Float64("density", 5, "target |E|/|V| (glp, powerlaw, er)")
+		alpha   = flag.Float64("alpha", 2.2, "power-law exponent (powerlaw)")
+		m       = flag.Int("m", 3, "edges per vertex (ba)")
+		rows    = flag.Int("rows", 100, "grid rows (grid)")
+		cols    = flag.Int("cols", 100, "grid cols (grid)")
+		maxw    = flag.Int("maxw", 1, "maximum random edge weight (grid, or any model with -weighted)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		weight  = flag.Bool("weighted", false, "attach uniform random weights in [1,maxw]")
+	)
+	flag.Parse()
+
+	g, err := build(*model, int32(*n), *density, *alpha, int32(*m), int32(*rows), int32(*cols), int32(*maxw), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hopdb-gen:", err)
+		os.Exit(1)
+	}
+	if *weight && !g.Weighted() {
+		g, err = gen.WithRandomWeights(g, int32(*maxw), *seed+7)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hopdb-gen:", err)
+			os.Exit(1)
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hopdb-gen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "hopdb-gen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %v\n", g)
+}
+
+func build(model string, n int32, density, alpha float64, m, rows, cols, maxw int32, seed int64) (*graph.Graph, error) {
+	switch model {
+	case "glp":
+		return gen.GLP(gen.DefaultGLP(n, density, seed))
+	case "ba":
+		return gen.BA(gen.BAParams{N: n, M: m, Seed: seed})
+	case "powerlaw":
+		return gen.PowerLaw(gen.PowerLawParams{N: n, Density: density, Alpha: alpha, Directed: true, Seed: seed})
+	case "er":
+		return gen.ER(n, int(float64(n)*density), false, seed)
+	case "star":
+		return gen.Star(n)
+	case "grid":
+		return gen.GridRoad(rows, cols, maxw, seed)
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -1,0 +1,114 @@
+// Command hopdb-query answers point-to-point distance queries against an
+// index built by hopdb-build. Queries are "s t" pairs, one per line, from
+// -q or stdin. With -disk it queries the block-addressable format
+// directly from disk and reports I/O counts.
+//
+// Usage:
+//
+//	echo "3 17" | hopdb-query -idx graph.idx
+//	hopdb-query -disk graph.didx -q queries.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hopdb "repro"
+)
+
+func main() {
+	var (
+		idxPath  = flag.String("idx", "", "loadable index file")
+		diskPath = flag.String("disk", "", "disk-query index file")
+		qPath    = flag.String("q", "", "query file (default stdin)")
+		cache    = flag.Int("cache", 0, "disk label cache entries")
+	)
+	flag.Parse()
+	if (*idxPath == "") == (*diskPath == "") {
+		fmt.Fprintln(os.Stderr, "hopdb-query: exactly one of -idx/-disk is required")
+		os.Exit(2)
+	}
+	var query func(s, t int32) (uint32, error)
+	var diskIdx *hopdb.DiskIndex
+	if *idxPath != "" {
+		idx, err := hopdb.LoadIndex(*idxPath)
+		if err != nil {
+			fail(err)
+		}
+		query = func(s, t int32) (uint32, error) {
+			d, _ := idx.Distance(s, t)
+			return d, nil
+		}
+	} else {
+		var err error
+		diskIdx, err = hopdb.OpenDiskIndex(*diskPath, hopdb.DiskOptions{CacheLabels: *cache})
+		if err != nil {
+			fail(err)
+		}
+		defer diskIdx.Close()
+		query = diskIdx.Distance
+	}
+
+	var in io.Reader = os.Stdin
+	if *qPath != "" {
+		f, err := os.Open(*qPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	count := 0
+	start := time.Now()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			fmt.Fprintf(os.Stderr, "skipping malformed line %q\n", line)
+			continue
+		}
+		s, err1 := strconv.ParseInt(fields[0], 10, 32)
+		t, err2 := strconv.ParseInt(fields[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "skipping malformed line %q\n", line)
+			continue
+		}
+		d, err := query(int32(s), int32(t))
+		if err != nil {
+			fail(err)
+		}
+		if d == hopdb.Infinity {
+			fmt.Fprintf(w, "%d %d unreachable\n", s, t)
+		} else {
+			fmt.Fprintf(w, "%d %d %d\n", s, t, d)
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "%d queries in %v (%.2f us/query)\n", count, elapsed, elapsed.Seconds()/float64(count)*1e6)
+	}
+	if diskIdx != nil {
+		fmt.Fprintf(os.Stderr, "disk I/O: %d block reads (%.2f per query)\n", diskIdx.IOs(), float64(diskIdx.IOs())/float64(count))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopdb-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package hopdb_test
+
+import (
+	"fmt"
+
+	hopdb "repro"
+)
+
+// Build an index over a small undirected graph and query it.
+func ExampleBuild() {
+	b := hopdb.NewGraphBuilder(false, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	idx, stats, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("entries:", stats.Entries)
+	d, ok := idx.Distance(2, 3)
+	fmt.Println(d, ok)
+	// Output:
+	// entries: 4
+	// 3 true
+}
+
+// Directed graphs answer queries per direction.
+func ExampleIndex_Distance() {
+	b := hopdb.NewGraphBuilder(true, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	d, ok := idx.Distance(0, 2)
+	fmt.Println(d, ok)
+	_, ok = idx.Distance(2, 0)
+	fmt.Println(ok)
+	// Output:
+	// 2 true
+	// false
+}
+
+// Shortest paths (not just distances) can be reconstructed.
+func ExampleIndex_Path() {
+	b := hopdb.NewGraphBuilder(false, true)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 5)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(3, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	path, ok := idx.Path(0, 2)
+	fmt.Println(path, ok)
+	// Output:
+	// [0 3 2] true
+}

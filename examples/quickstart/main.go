@@ -1,0 +1,50 @@
+// Quickstart: build an index over the paper's Figure 3 graph and answer
+// the queries worked through in Examples 1 and 2, then reconstruct a
+// shortest path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hopdb "repro"
+)
+
+func main() {
+	// The paper's Figure 3(a): a small directed graph whose vertices
+	// are already numbered by rank (0 = highest degree).
+	b := hopdb.NewGraphBuilder(true, false)
+	edges := [][2]int32{
+		{0, 1}, {1, 0}, {2, 0}, {2, 3}, {3, 1}, {4, 5}, {5, 3},
+		{0, 6}, {2, 6}, {3, 7}, {7, 2}, {4, 0}, {4, 1},
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1], 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, stats, err := hopdb.Build(g, hopdb.Options{
+		// Rank by vertex id to match the paper's numbering exactly.
+		Rank: hopdb.RankByID, RankSet: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %v\n", g)
+	fmt.Printf("index: %d entries in %d iterations (%.1f per vertex)\n\n",
+		stats.Entries, stats.Iterations, idx.AvgLabel())
+
+	queries := [][2]int32{{4, 2}, {7, 0}, {5, 1}, {2, 7}, {6, 0}}
+	for _, q := range queries {
+		d, ok := idx.Distance(q[0], q[1])
+		if !ok {
+			fmt.Printf("dist(%d, %d) = unreachable\n", q[0], q[1])
+			continue
+		}
+		path, _ := idx.Path(q[0], q[1])
+		fmt.Printf("dist(%d, %d) = %d via %v\n", q[0], q[1], d, path)
+	}
+}

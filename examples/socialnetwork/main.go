@@ -1,0 +1,91 @@
+// Social network example: index a GLP-generated scale-free friendship
+// graph (the structure of the paper's Delicious/Flickr datasets), compare
+// query latency against index-free bidirectional BFS, and use distance
+// queries for a classic application from the paper's introduction:
+// finding the most central of a set of candidate influencers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	hopdb "repro"
+	"repro/internal/gen"
+	"repro/internal/sp"
+)
+
+func main() {
+	const n = 20000
+	g, err := gen.GLP(gen.DefaultGLP(n, 8, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: %v\n", g)
+
+	start := time.Now()
+	idx, stats, err := hopdb.Build(g, hopdb.Options{Method: hopdb.Hybrid})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index built in %v: %d entries, %.1f per vertex, %.2f MB\n",
+		time.Since(start).Round(time.Millisecond), stats.Entries, idx.AvgLabel(),
+		float64(idx.SizeBytes())/(1<<20))
+
+	// Optional: bit-parallel acceleration for undirected unweighted
+	// graphs (paper Section 6).
+	if err := idx.EnableBitParallel(0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Latency comparison on random friend-distance queries.
+	rng := rand.New(rand.NewSource(7))
+	const q = 2000
+	pairs := make([][2]int32, q)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	bi := sp.NewBiSearcher(g)
+	start = time.Now()
+	for _, p := range pairs {
+		bi.Distance(p[0], p[1])
+	}
+	biDur := time.Since(start)
+	start = time.Now()
+	for _, p := range pairs {
+		idx.Distance(p[0], p[1])
+	}
+	idxDur := time.Since(start)
+	fmt.Printf("%d queries: bidirectional BFS %v (%.1f us/q), index %v (%.2f us/q), speedup %.0fx\n",
+		q, biDur.Round(time.Millisecond), biDur.Seconds()/q*1e6,
+		idxDur.Round(time.Millisecond), idxDur.Seconds()/q*1e6,
+		biDur.Seconds()/idxDur.Seconds())
+
+	// Influencer selection: among candidate accounts, pick the one with
+	// the smallest average distance to a sample of users.
+	candidates := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	sample := make([]int32, 500)
+	for i := range sample {
+		sample[i] = rng.Int31n(n)
+	}
+	best, bestAvg := int32(-1), 1e18
+	for _, c := range candidates {
+		total, reached := 0.0, 0
+		for _, u := range sample {
+			if d, ok := idx.Distance(c, u); ok {
+				total += float64(d)
+				reached++
+			}
+		}
+		if reached == 0 {
+			continue
+		}
+		avg := total / float64(reached)
+		fmt.Printf("candidate %5d: avg distance %.3f to %d reachable users\n", c, avg, reached)
+		if avg < bestAvg {
+			best, bestAvg = c, avg
+		}
+	}
+	fmt.Printf("most central influencer: %d (avg distance %.3f)\n", best, bestAvg)
+}

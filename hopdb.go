@@ -1,0 +1,246 @@
+package hopdb
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bitparallel"
+	"repro/internal/core"
+	"repro/internal/diskidx"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// Graph is the immutable CSR graph all builders consume.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges; see NewGraphBuilder.
+type GraphBuilder = graph.Builder
+
+// Infinity is returned (with ok=false) for unreachable pairs.
+const Infinity = graph.Infinity
+
+// NewGraphBuilder returns a builder for a directed/undirected,
+// weighted/unweighted graph. Self-loops are dropped and parallel edges
+// are collapsed to their minimum weight.
+func NewGraphBuilder(directed, weighted bool) *GraphBuilder {
+	return graph.NewBuilder(directed, weighted)
+}
+
+// LoadEdgeList reads a text edge list ("u v" or "u v w" lines, '#'/'%'
+// comments) from a file.
+func LoadEdgeList(path string, directed, weighted bool) (*Graph, error) {
+	return graph.LoadEdgeListFile(path, directed, weighted)
+}
+
+// SaveEdgeList writes g as a text edge list.
+func SaveEdgeList(path string, g *Graph) error {
+	return graph.SaveEdgeListFile(path, g)
+}
+
+// Method selects the construction schedule.
+type Method = core.Method
+
+// Construction schedules (paper Sections 3 and 5).
+const (
+	// Hybrid steps for Options.SwitchIteration iterations, then
+	// doubles: the paper's default.
+	Hybrid = core.Hybrid
+	// Doubling joins new labels against the whole index each
+	// iteration.
+	Doubling = core.Doubling
+	// Stepping joins new labels against single edges each iteration.
+	Stepping = core.Stepping
+)
+
+// RankStrategy selects the vertex ordering that drives pivot selection.
+type RankStrategy = order.Strategy
+
+// Ranking strategies (paper Section 2.1).
+const (
+	// RankByDegree orders by non-increasing degree (paper default for
+	// undirected graphs).
+	RankByDegree = order.ByDegree
+	// RankByDegreeProduct orders by in-degree*out-degree (paper default
+	// for directed graphs).
+	RankByDegreeProduct = order.ByDegreeProduct
+	// RankByID keeps the caller's vertex numbering as the ranking.
+	RankByID = order.ByID
+)
+
+// Options configures Build.
+type Options struct {
+	// Method is the construction schedule (default Hybrid).
+	Method Method
+	// SwitchIteration is the stepping-to-doubling switch point for
+	// Hybrid builds (default 10, as in the paper).
+	SwitchIteration int
+	// Rank selects the vertex ordering. Leave zero for the paper's
+	// defaults (degree; degree product for directed graphs).
+	Rank RankStrategy
+	// RankSet marks Rank as deliberately chosen, disabling the
+	// directed-graph auto-substitution.
+	RankSet bool
+	// RankKeys, when non-nil, overrides Rank with one score per vertex:
+	// larger key = higher rank. This is the custom-ordering hook for
+	// general (non-scale-free) graphs the paper's Section 7 describes.
+	RankKeys []int64
+	// DisablePruning turns off label pruning (for ablations; labels
+	// grow but queries stay correct).
+	DisablePruning bool
+	// MaxIterations caps construction; 0 runs to fixpoint.
+	MaxIterations int
+	// CollectStats records per-iteration statistics in Stats.
+	CollectStats bool
+	// Parallelism shards in-memory construction across goroutines;
+	// <= 1 runs serially. Results are identical either way.
+	Parallelism int
+
+	// External selects the disk-based I/O-efficient builder.
+	External bool
+	// MemoryBudget is the external builder's record budget M.
+	MemoryBudget int
+	// BlockSize is the external builder's block size B in records.
+	BlockSize int
+	// TempDir hosts the external builder's working files.
+	TempDir string
+}
+
+// Stats reports what construction did; see core.BuildStats.
+type Stats = core.BuildStats
+
+// Index answers exact point-to-point distance queries.
+type Index struct {
+	labels *label.Index
+	g      *Graph             // retained for Path; may be nil after Load
+	bp     *bitparallel.Index // optional bit-parallel acceleration
+}
+
+// Build constructs an index for g.
+func Build(g *Graph, opt Options) (*Index, Stats, error) {
+	copt := core.Options{
+		Method:          opt.Method,
+		SwitchIteration: opt.SwitchIteration,
+		Rank:            opt.Rank,
+		RankSet:         opt.RankSet,
+		RankKeys:        opt.RankKeys,
+		DisablePruning:  opt.DisablePruning,
+		MaxIterations:   opt.MaxIterations,
+		CollectStats:    opt.CollectStats,
+		Parallelism:     opt.Parallelism,
+		MemoryBudget:    opt.MemoryBudget,
+		BlockSize:       opt.BlockSize,
+		TempDir:         opt.TempDir,
+	}
+	var (
+		x   *label.Index
+		st  core.BuildStats
+		err error
+	)
+	if opt.External {
+		x, st, err = core.BuildExternal(g, copt)
+	} else {
+		x, st, err = core.Build(g, copt)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return &Index{labels: x, g: g}, st, nil
+}
+
+// Distance returns the exact distance from s to t and whether t is
+// reachable from s. Vertex ids are the caller's original ids.
+func (x *Index) Distance(s, t int32) (uint32, bool) {
+	var d uint32
+	if x.bp != nil {
+		d = x.bp.Distance(s, t)
+	} else {
+		d = x.labels.Distance(s, t)
+	}
+	return d, d != Infinity
+}
+
+// N returns the number of indexed vertices.
+func (x *Index) N() int32 { return x.labels.N }
+
+// Entries returns the number of non-trivial label entries.
+func (x *Index) Entries() int64 { return x.labels.Entries() }
+
+// AvgLabel returns the average label entries per vertex.
+func (x *Index) AvgLabel() float64 { return x.labels.AvgLabel() }
+
+// SizeBytes returns the serialized label size in bytes.
+func (x *Index) SizeBytes() int64 { return x.labels.SizeBytes() }
+
+// Labels exposes the underlying label index for analysis tooling
+// (coverage statistics, serialization formats). Treat it as read-only.
+func (x *Index) Labels() *label.Index { return x.labels }
+
+// EnableBitParallel folds the top-ranked hub labels into bit-parallel
+// tuples (paper Section 6). Only undirected unweighted indexes qualify;
+// roots <= 0 selects the paper's default of 50.
+func (x *Index) EnableBitParallel(roots int) error {
+	if x.g == nil {
+		return fmt.Errorf("hopdb: bit-parallel transform needs the graph; unavailable on a loaded index")
+	}
+	bp, err := bitparallel.Transform(x.labels, x.g, bitparallel.Options{Roots: roots})
+	if err != nil {
+		return err
+	}
+	x.bp = bp
+	return nil
+}
+
+// Save writes the index to path in the binary label format.
+func (x *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := x.labels.Write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index saved with Save. Path reconstruction and
+// bit-parallel transformation are unavailable until the graph is
+// re-attached with AttachGraph.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	x, err := label.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{labels: x}, nil
+}
+
+// AttachGraph re-associates the original graph with a loaded index,
+// enabling Path and EnableBitParallel.
+func (x *Index) AttachGraph(g *Graph) { x.g = g }
+
+// SaveDiskIndex writes the index in the block-addressable on-disk format
+// answered by OpenDiskIndex.
+func (x *Index) SaveDiskIndex(path string) error {
+	return diskidx.Write(path, x.labels)
+}
+
+// DiskIndex answers queries directly from an on-disk index; see
+// OpenDiskIndex.
+type DiskIndex = diskidx.DiskIndex
+
+// DiskOptions tunes disk-index querying.
+type DiskOptions = diskidx.Options
+
+// OpenDiskIndex opens an index written by SaveDiskIndex for querying
+// without loading the labels into memory.
+func OpenDiskIndex(path string, opt DiskOptions) (*DiskIndex, error) {
+	return diskidx.Open(path, opt)
+}

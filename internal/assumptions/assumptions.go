@@ -1,0 +1,184 @@
+// Package assumptions empirically checks the three scale-free-graph
+// assumptions the paper's complexity analysis rests on (Section 2.2):
+//
+//	Assumption 1 — small hitting sets for long paths: a handful of
+//	top-degree vertices H hits (almost) all shortest paths of hop
+//	length >= d0.
+//	Assumption 2 — small H-excluded neighborhoods: once H is excluded,
+//	each vertex's short-path neighborhood Ne(v) is small.
+//	Assumption 3 — small hub dimension h, the per-vertex bound on the
+//	hitting sets, which bounds the optimal label size by O(h).
+//
+// The checks run exact BFS over sampled sources, so they are meant for
+// analysis-scale graphs (up to a few hundred thousand vertices), matching
+// how the paper supports the assumptions with measurements (Table 7).
+package assumptions
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Report quantifies the assumptions for one graph.
+type Report struct {
+	// D0 is the long-path threshold used (the paper derives d0 = 4 for
+	// typical rank exponents).
+	D0 int32
+	// H is the hitting-set size used (top-degree vertices).
+	H int
+	// TwoHopReach is the fraction of vertices within 2 hops of the
+	// top-degree vertex (the paper's Section 2.2 calculation predicts
+	// ~1 for scale-free graphs).
+	TwoHopReach float64
+	// LongPathsHit is the fraction of sampled shortest paths with hop
+	// length >= D0 that pass through H (Assumption 1).
+	LongPathsHit float64
+	// LongPathsTotal is the number of long sampled paths inspected.
+	LongPathsTotal int64
+	// MaxNe and AvgNe describe the H-excluded neighborhood sizes over
+	// sampled vertices (Assumption 2).
+	MaxNe int
+	AvgNe float64
+	// AvgNeighborhood is the average raw d0-neighborhood size (no hub
+	// exclusion), the baseline Ne is compared against: the assumption's
+	// content is AvgNe << AvgNeighborhood.
+	AvgNeighborhood float64
+}
+
+// Check samples sources and measures the three assumptions. h is the
+// hitting-set size (0 = 16); d0 the long-path threshold (0 = 4); samples
+// the number of BFS sources (0 = 64).
+func Check(g *graph.Graph, h int, d0 int32, samples int, seed int64) Report {
+	if h <= 0 {
+		h = 16
+	}
+	if d0 <= 0 {
+		d0 = 4
+	}
+	if samples <= 0 {
+		samples = 64
+	}
+	n := g.N()
+	if n == 0 {
+		return Report{D0: d0, H: h}
+	}
+	if int32(samples) > n {
+		samples = int(n)
+	}
+	perm := order.Rank(g, order.ByDegree)
+	inv := order.Inverse(perm)
+	inH := make([]bool, n)
+	for i := 0; i < h && int32(i) < n; i++ {
+		inH[inv[i]] = true
+	}
+	rep := Report{D0: d0, H: h}
+
+	// Two-hop reach of the top vertex.
+	top := inv[0]
+	reached := map[int32]bool{top: true}
+	for _, u := range g.OutNeighbors(top) {
+		reached[u] = true
+		// The paper's analysis is about undirected reach; using
+		// out-edges keeps this meaningful for directed graphs too.
+	}
+	frontier := make([]int32, 0, len(reached))
+	for u := range reached {
+		frontier = append(frontier, u)
+	}
+	for _, u := range frontier {
+		for _, w := range g.OutNeighbors(u) {
+			reached[w] = true
+		}
+	}
+	rep.TwoHopReach = float64(len(reached)) / float64(n)
+
+	// Assumption 1 is existential: a pair counts as hit when SOME
+	// shortest path between it passes through H. After the BFS fixes
+	// the distance levels, a DP over the shortest-path DAG computes
+	// anyHit[v] = "some shortest path src -> v contains an H vertex"
+	// by propagating in BFS (distance) order.
+	rng := rand.New(rand.NewSource(seed))
+	dist := make([]int32, n)
+	anyHit := make([]bool, n)
+	queue := make([]int32, 0, n)
+	var hitLong, totalLong int64
+	var hoodTotal int64
+	neSizes := make([]int, 0, samples)
+	for s := 0; s < samples; s++ {
+		src := rng.Int31n(n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		dist[src] = 0
+		anyHit[src] = inH[src]
+		queue = append(queue, src)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.OutNeighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					anyHit[v] = false
+					queue = append(queue, v)
+				}
+			}
+		}
+		// queue is in non-decreasing distance order, so predecessors
+		// are finalized before their successors.
+		for _, v := range queue {
+			if v == src {
+				continue
+			}
+			hit := inH[v]
+			if !hit {
+				for _, u := range g.InNeighbors(v) {
+					if dist[u] == dist[v]-1 && anyHit[u] {
+						hit = true
+						break
+					}
+				}
+			}
+			anyHit[v] = hit
+		}
+		ne := 0
+		hood := 0
+		for _, v := range queue {
+			switch {
+			case v == src:
+			case dist[v] >= d0:
+				totalLong++
+				if anyHit[v] {
+					hitLong++
+				}
+			default:
+				hood++
+				if !anyHit[v] {
+					// Assumption 2: short-range vertices no shortest
+					// path reaches through H form the H-excluded
+					// neighborhood.
+					ne++
+				}
+			}
+		}
+		neSizes = append(neSizes, ne)
+		hoodTotal += int64(hood)
+	}
+	if totalLong > 0 {
+		rep.LongPathsHit = float64(hitLong) / float64(totalLong)
+	}
+	rep.LongPathsTotal = totalLong
+	if len(neSizes) > 0 {
+		sort.Ints(neSizes)
+		rep.MaxNe = neSizes[len(neSizes)-1]
+		sum := 0
+		for _, x := range neSizes {
+			sum += x
+		}
+		rep.AvgNe = float64(sum) / float64(len(neSizes))
+		rep.AvgNeighborhood = float64(hoodTotal) / float64(len(neSizes))
+	}
+	return rep
+}

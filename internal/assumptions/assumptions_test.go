@@ -1,0 +1,79 @@
+package assumptions
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestScaleFreeGraphSatisfiesAssumptions(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(3000, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(g, 16, 4, 48, 1)
+	// Section 2.2's calculation: the top-degree vertex reaches nearly
+	// everything within 2 hops on a scale-free graph.
+	if rep.TwoHopReach < 0.5 {
+		t.Errorf("two-hop reach = %.2f, want most of the graph", rep.TwoHopReach)
+	}
+	// Assumption 1: long shortest paths are (almost) all hit by H.
+	if rep.LongPathsTotal > 0 && rep.LongPathsHit < 0.9 {
+		t.Errorf("only %.1f%% of long paths hit by H", rep.LongPathsHit*100)
+	}
+	// Assumption 2's content at reproduction scale: excluding the hubs
+	// shrinks the short-range neighborhood substantially.
+	if rep.AvgNe > 0.5*rep.AvgNeighborhood {
+		t.Errorf("avg Ne = %.1f vs raw neighborhood %.1f: hub exclusion did not shrink it",
+			rep.AvgNe, rep.AvgNeighborhood)
+	}
+}
+
+func TestStarIsPerfect(t *testing.T) {
+	g, err := gen.Star(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(g, 1, 2, 32, 2)
+	if rep.TwoHopReach != 1 {
+		t.Errorf("star two-hop reach = %v, want 1", rep.TwoHopReach)
+	}
+	// Every 2-hop path goes through the hub.
+	if rep.LongPathsTotal > 0 && rep.LongPathsHit != 1 {
+		t.Errorf("star long-path hit = %v, want 1", rep.LongPathsHit)
+	}
+	// Excluding the hub leaves leaves isolated: Ne = 0.
+	if rep.MaxNe != 0 {
+		t.Errorf("star max Ne = %d, want 0", rep.MaxNe)
+	}
+}
+
+func TestPathGraphViolatesAssumptions(t *testing.T) {
+	// A long path has no hubs: most long shortest paths dodge the
+	// "top-degree" vertices, so the hit rate must be low — this is the
+	// negative control showing the checker discriminates.
+	g, err := gen.Path(500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(g, 4, 4, 64, 3)
+	if rep.TwoHopReach > 0.1 {
+		t.Errorf("path two-hop reach = %v, expected tiny", rep.TwoHopReach)
+	}
+	if rep.LongPathsHit > 0.5 {
+		t.Errorf("path long-path hit = %v; expected the checker to flag hub absence", rep.LongPathsHit)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(g, 0, 0, 0, 1)
+	if rep.H == 0 || rep.D0 == 0 {
+		t.Errorf("defaults not applied: %+v", rep)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/assumptions"
+)
+
+// AssumptionRow is one dataset's empirical check of the paper's Section
+// 2.2 assumptions (a supplement to Table 7's indirect evidence).
+type AssumptionRow struct {
+	Name string
+	assumptions.Report
+}
+
+// RunAssumptions measures the assumptions across datasets with H sized as
+// the larger of 16 and 1% of vertices (approximating the paper's "small
+// set of highest degree vertices" at proxy scale).
+func RunAssumptions(datasets []Dataset, scale float64) ([]AssumptionRow, error) {
+	var rows []AssumptionRow
+	for _, d := range datasets {
+		g, err := d.Build(scale)
+		if err != nil {
+			return rows, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		h := int(g.N() / 100)
+		if h < 16 {
+			h = 16
+		}
+		rep := assumptions.Check(g, h, 4, 48, d.Seed)
+		rows = append(rows, AssumptionRow{Name: d.Name, Report: rep})
+	}
+	return rows, nil
+}
+
+// PrintAssumptions renders the assumption checks.
+func PrintAssumptions(w io.Writer, rows []AssumptionRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Section 2.2 assumption checks (H = max(16, |V|/100), d0 = 4)")
+	fmt.Fprintln(tw, "Graph\t|H|\t2-hop reach\tlong paths hit\tavg Ne\tavg d0-hood\tmax Ne")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f\t%.1f\t%d\n",
+			r.Name, r.H, r.TwoHopReach*100, r.LongPathsHit*100, r.AvgNe, r.AvgNeighborhood, r.MaxNe)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 27 {
+		t.Fatalf("registry has %d datasets, want 27 (as in the paper's Table 6)", len(ds))
+	}
+	seen := map[string]bool{}
+	groups := map[string]int{}
+	for _, d := range ds {
+		if seen[d.Name] {
+			t.Errorf("duplicate dataset %s", d.Name)
+		}
+		seen[d.Name] = true
+		groups[d.Group]++
+	}
+	if groups[GroupUndirected] != 8 || groups[GroupDirected] != 9 || groups[GroupSynthetic] != 6 || groups[GroupWeighted] != 4 {
+		t.Errorf("group sizes = %v", groups)
+	}
+	if _, ok := DatasetByName("enron"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := DatasetByName("nope"); ok {
+		t.Error("phantom dataset found")
+	}
+}
+
+func TestDatasetBuildShapes(t *testing.T) {
+	for _, name := range []string{"enron", "slashdot", "bookRating"} {
+		d, _ := DatasetByName(name)
+		g, err := d.Build(0.2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Directed() != d.Directed() || g.Weighted() != d.Weighted() {
+			t.Errorf("%s: shape mismatch: %v", name, g)
+		}
+		if g.N() == 0 || g.EdgeCount() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestTable6SmallRun(t *testing.T) {
+	d, _ := DatasetByName("enron")
+	row, err := RunTable6Dataset(d, Table6Options{Scale: 0.3, Queries: 60, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Mismatches != 0 {
+		t.Errorf("index answers disagreed with BIDIJ on %d queries", row.Mismatches)
+	}
+	if IsDNF(row.HopSizeMB) || row.HopSizeMB <= 0 {
+		t.Errorf("HopDb size = %v", row.HopSizeMB)
+	}
+	if IsDNF(row.PLLSizeMB) {
+		t.Error("PLL should finish on the small proxy")
+	}
+	if IsDNF(row.HopQueryUs) || IsDNF(row.BidijQueryUs) {
+		t.Error("query timings missing")
+	}
+	if IsDNF(row.HopDiskMs) || IsDNF(row.HopDiskIOsPQ) {
+		t.Error("disk query stats missing")
+	}
+	if row.HopReadIOs == 0 || row.HopWriteIOs == 0 {
+		t.Error("external build I/O counts missing")
+	}
+	var buf bytes.Buffer
+	PrintTable6(&buf, []Table6Row{row})
+	if !strings.Contains(buf.String(), "enron") {
+		t.Error("table output missing dataset name")
+	}
+}
+
+func TestTable6DNFRendering(t *testing.T) {
+	row := Table6Row{Name: "x", Group: GroupUndirected, ISSizeMB: DNF, ISTimeS: DNF,
+		ISQueryUs: DNF, ISDiskMs: DNF, PLLSizeMB: 1, HopSizeMB: 1}
+	var buf bytes.Buffer
+	PrintTable6(&buf, []Table6Row{row})
+	if !strings.Contains(buf.String(), "—") {
+		t.Error("DNF not rendered as em-dash")
+	}
+}
+
+func TestTable7SmallRun(t *testing.T) {
+	d, _ := DatasetByName("syn6")
+	row, err := RunTable7Dataset(d, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Iterations == 0 || row.AvgLabel <= 0 {
+		t.Errorf("row = %+v", row)
+	}
+	// The paper's core claim: a tiny top fraction covers most entries.
+	if row.Top90 > 0.25 {
+		t.Errorf("top-90%% coverage needs %.1f%% of vertices; expected a small hitting set", row.Top90*100)
+	}
+	if row.Top70 > row.Top80 || row.Top80 > row.Top90 {
+		t.Errorf("coverage thresholds not monotone: %+v", row)
+	}
+	var buf bytes.Buffer
+	PrintTable7(&buf, []Table7Row{row})
+	if !strings.Contains(buf.String(), "syn6") {
+		t.Error("table output missing dataset")
+	}
+}
+
+func TestTable8SmallRun(t *testing.T) {
+	d, _ := DatasetByName("slashdot")
+	row, err := RunTable8Dataset(d, Table8Options{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsDNF(row.HybridTimeS) || IsDNF(row.StepTimeS) {
+		t.Errorf("hybrid/stepping should finish: %+v", row)
+	}
+	if !IsDNF(row.DoubleTimeS) && row.DoubleIters > row.StepIters {
+		t.Errorf("doubling took more iterations than stepping: %+v", row)
+	}
+	var buf bytes.Buffer
+	PrintTable8(&buf, []Table8Row{row})
+	if !strings.Contains(buf.String(), "slashdot") {
+		t.Error("table output missing dataset")
+	}
+}
+
+func TestFigure8SmallRun(t *testing.T) {
+	d, _ := DatasetByName("enron")
+	// At 0.3 scale the proxy has only ~450 vertices, so sample the curve
+	// out to 10% of vertices (the paper's 1% corresponds to thousands of
+	// hubs at full dataset size).
+	series, err := RunFigure8([]Dataset{d}, 0.3, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Coverage) != 6 {
+		t.Fatalf("series shape: %+v", series)
+	}
+	cov := series[0].Coverage
+	for i := 1; i < len(cov); i++ {
+		if cov[i] < cov[i-1] {
+			t.Errorf("coverage not monotone: %v", cov)
+		}
+	}
+	if cov[len(cov)-1] < 0.5 {
+		t.Errorf("top 10%% covers only %.2f of entries; expected substantial coverage", cov[len(cov)-1])
+	}
+	var buf bytes.Buffer
+	PrintFigure8(&buf, series)
+	if !strings.Contains(buf.String(), "enron") {
+		t.Error("figure output missing dataset")
+	}
+}
+
+func TestFigure9SmallRun(t *testing.T) {
+	ptsA, err := RunFigure9Density(600, []float64{2, 5, 10}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptsA) != 3 {
+		t.Fatalf("points = %d", len(ptsA))
+	}
+	for _, p := range ptsA {
+		if p.AvgLabel <= 0 || p.GraphMB <= 0 {
+			t.Errorf("bad point %+v", p)
+		}
+	}
+	// The headline claim: graph size grows with density but avg label
+	// stays within a small band (no blow-up).
+	if ptsA[2].AvgLabel > 50*ptsA[0].AvgLabel {
+		t.Errorf("avg label exploded with density: %v -> %v", ptsA[0].AvgLabel, ptsA[2].AvgLabel)
+	}
+	ptsB, err := RunFigure9Vertices([]int32{300, 600, 1200}, 5, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptsB[2].AvgLabel > 50*ptsB[0].AvgLabel {
+		t.Errorf("avg label exploded with |V|: %v -> %v", ptsB[0].AvgLabel, ptsB[2].AvgLabel)
+	}
+	var buf bytes.Buffer
+	PrintFigure9(&buf, "Figure 9(a)", ptsA)
+	PrintFigure9(&buf, "Figure 9(b)", ptsB)
+	if !strings.Contains(buf.String(), "Figure 9(a)") {
+		t.Error("figure output missing title")
+	}
+}
+
+func TestFigure10SmallRun(t *testing.T) {
+	d, _ := DatasetByName("wikiEng")
+	rows, err := RunFigure10(d, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no iterations traced")
+	}
+	var timeSum float64
+	for _, r := range rows {
+		if r.PruningFactor < 0 || r.PruningFactor > 1 {
+			t.Errorf("pruning factor out of range: %+v", r)
+		}
+		timeSum += r.TimeRatio
+	}
+	if timeSum > 1.001 {
+		t.Errorf("time ratios sum to %v > 1", timeSum)
+	}
+	var buf bytes.Buffer
+	PrintFigure10(&buf, d.Name, rows)
+	if !strings.Contains(buf.String(), "wikiEng") {
+		t.Error("figure output missing dataset")
+	}
+}
+
+func TestSmallSuite(t *testing.T) {
+	if len(SmallSuite()) != 4 {
+		t.Error("small suite should have one dataset per group")
+	}
+}
+
+func TestAssumptionsSmallRun(t *testing.T) {
+	d, _ := DatasetByName("syn6")
+	rows, err := RunAssumptions([]Dataset{d}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.LongPathsTotal > 0 && r.LongPathsHit < 0.8 {
+		t.Errorf("scale-free proxy: only %.1f%% of long paths hit", r.LongPathsHit*100)
+	}
+	if r.AvgNe > r.AvgNeighborhood {
+		t.Errorf("Ne %.1f exceeds raw neighborhood %.1f", r.AvgNe, r.AvgNeighborhood)
+	}
+	var buf bytes.Buffer
+	PrintAssumptions(&buf, rows)
+	if !strings.Contains(buf.String(), "syn6") {
+		t.Error("output missing dataset")
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/label"
+)
+
+// Figure8Series is one dataset's label-coverage curve: CoverageAt[i] is
+// the fraction of all label entries covered by the top
+// (i/(points-1))*maxFrac fraction of vertices.
+type Figure8Series struct {
+	Name       string
+	TopPercent []float64 // x axis, 0..maxFrac
+	Coverage   []float64 // y axis, 0..1
+}
+
+// RunFigure8 builds each dataset's hybrid index and samples its coverage
+// curve up to maxFrac (the paper plots 0..1% of vertices).
+func RunFigure8(datasets []Dataset, scale float64, points int, maxFrac float64) ([]Figure8Series, error) {
+	if points < 2 {
+		points = 11
+	}
+	if maxFrac <= 0 {
+		maxFrac = 0.01
+	}
+	var out []Figure8Series
+	for _, d := range datasets {
+		g, err := d.Build(scale)
+		if err != nil {
+			return out, fmt.Errorf("bench: building %s: %w", d.Name, err)
+		}
+		x, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+		if err != nil {
+			return out, fmt.Errorf("bench: HopDb on %s: %w", d.Name, err)
+		}
+		cov := label.Coverage(x, nil, points, maxFrac)
+		s := Figure8Series{Name: d.Name}
+		for i, c := range cov.Curve {
+			s.TopPercent = append(s.TopPercent, maxFrac*float64(i)/float64(points-1))
+			s.Coverage = append(s.Coverage, c)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure9Point is one synthetic measurement of the scalability study.
+type Figure9Point struct {
+	N          int32
+	Density    float64
+	GraphMB    float64
+	AvgLabel   float64
+	Iterations int
+}
+
+// RunFigure9Density reproduces Figure 9(a): fixed |V|, growing density.
+func RunFigure9Density(n int32, densities []float64, seed int64) ([]Figure9Point, error) {
+	var out []Figure9Point
+	for i, den := range densities {
+		g, err := gen.GLP(gen.DefaultGLP(n, den, seed+int64(i)))
+		if err != nil {
+			return out, err
+		}
+		x, st, err := core.Build(g, core.Options{Method: core.Hybrid})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Figure9Point{
+			N:          g.N(),
+			Density:    float64(g.EdgeCount()) / float64(g.N()),
+			GraphMB:    mb(g.SizeBytes()),
+			AvgLabel:   x.AvgLabel(),
+			Iterations: st.Iterations,
+		})
+	}
+	return out, nil
+}
+
+// RunFigure9Vertices reproduces Figure 9(b): fixed density, growing |V|.
+func RunFigure9Vertices(ns []int32, density float64, seed int64) ([]Figure9Point, error) {
+	var out []Figure9Point
+	for i, n := range ns {
+		g, err := gen.GLP(gen.DefaultGLP(n, density, seed+int64(i)))
+		if err != nil {
+			return out, err
+		}
+		x, st, err := core.Build(g, core.Options{Method: core.Hybrid})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Figure9Point{
+			N:          g.N(),
+			Density:    float64(g.EdgeCount()) / float64(g.N()),
+			GraphMB:    mb(g.SizeBytes()),
+			AvgLabel:   x.AvgLabel(),
+			Iterations: st.Iterations,
+		})
+	}
+	return out, nil
+}
+
+// Figure10Row is one iteration of the growth/pruning trace (the paper
+// plots wiki-English; we use the wikiEng proxy).
+type Figure10Row struct {
+	Iteration     int
+	Stepping      bool
+	GrowingFactor float64
+	PruningFactor float64
+	// Size ratios against the final index size.
+	CandOverFinal float64
+	OldOverFinal  float64
+	PrevOverFinal float64
+	// TimeRatio is this iteration's share of total build time.
+	TimeRatio float64
+}
+
+// RunFigure10 builds the named dataset's hybrid index with stats
+// collection and derives the per-iteration series. switchIter <= 0 keeps
+// the paper's default of 10; smaller values force the doubling phase to
+// appear even on proxies that converge within 10 stepping iterations,
+// exposing the growing-factor jump the paper plots.
+func RunFigure10(d Dataset, scale float64, switchIter int) ([]Figure10Row, error) {
+	g, err := d.Build(scale)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building %s: %w", d.Name, err)
+	}
+	x, st, err := core.Build(g, core.Options{Method: core.Hybrid, SwitchIteration: switchIter, CollectStats: true})
+	if err != nil {
+		return nil, fmt.Errorf("bench: HopDb on %s: %w", d.Name, err)
+	}
+	final := float64(x.Entries())
+	total := st.Duration.Seconds()
+	var rows []Figure10Row
+	for _, it := range st.PerIteration {
+		row := Figure10Row{
+			Iteration:     it.Iteration,
+			Stepping:      it.Stepping,
+			GrowingFactor: it.GrowingFactor(),
+			PruningFactor: it.PruningFactor(),
+			TimeRatio:     it.Duration.Seconds() / total,
+		}
+		if final > 0 {
+			row.CandOverFinal = float64(it.Candidates) / final
+			row.OldOverFinal = float64(it.LabelSize) / final
+			row.PrevOverFinal = float64(it.PrevSize) / final
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

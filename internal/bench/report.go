@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// num formats a measurement, rendering DNF as the paper's em-dash.
+func num(v float64, format string) string {
+	if IsDNF(v) {
+		return "—"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// PrintTable6 renders rows in the paper's Table 6 layout.
+func PrintTable6(w io.Writer, rows []Table6Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 6: performance comparison of BIDIJ, IS-Label, PLL and HopDb")
+	fmt.Fprintln(tw, "G\t|V|\t|E|\tmaxdeg\t|G|MB\tIdx MB (IS)\t(PLL)\t(HopDb)\tIdx s (IS)\t(PLL)\t(HopDb)\tMem q us (BIDIJ)\t(IS)\t(PLL)\t(HopDb)\tDisk q ms (IS)\t(HopDb)\tIO/q\terr")
+	group := ""
+	for _, r := range rows {
+		if r.Group != group {
+			group = r.Group
+			fmt.Fprintf(tw, "-- %s\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t\n", group)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
+			r.Name, r.N, r.E, r.MaxDeg, r.GraphMB,
+			num(r.ISSizeMB, "%.2f"), num(r.PLLSizeMB, "%.2f"), num(r.HopSizeMB, "%.2f"),
+			num(r.ISTimeS, "%.2f"), num(r.PLLTimeS, "%.2f"), num(r.HopTimeS, "%.2f"),
+			num(r.BidijQueryUs, "%.1f"), num(r.ISQueryUs, "%.2f"), num(r.PLLQueryUs, "%.2f"), num(r.HopQueryUs, "%.2f"),
+			num(r.ISDiskMs, "%.3f"), num(r.HopDiskMs, "%.3f"), num(r.HopDiskIOsPQ, "%.1f"),
+			r.Mismatches)
+	}
+	tw.Flush()
+}
+
+// PrintTable7 renders the hitting-set statistics table.
+func PrintTable7(w io.Writer, rows []Table7Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 7: small hub dimension and hitting-set evidence")
+	fmt.Fprintln(tw, "Graph\titerations\tavg |label|\ttop 70%\ttop 80%\ttop 90%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			r.Name, r.Iterations, r.AvgLabel, r.Top70*100, r.Top80*100, r.Top90*100)
+	}
+	tw.Flush()
+}
+
+// PrintTable8 renders the method comparison table.
+func PrintTable8(w io.Writer, rows []Table8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 8: Hop-Doubling vs Hop-Stepping vs Hybrid")
+	fmt.Fprintln(tw, "Graph\tDouble s\tStep s\tHybrid s\tDouble iters\tStep iters\tHybrid iters")
+	iters := func(t float64, n int) string {
+		if IsDNF(t) {
+			return "—"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Name,
+			num(r.DoubleTimeS, "%.2f"), num(r.StepTimeS, "%.2f"), num(r.HybridTimeS, "%.2f"),
+			iters(r.DoubleTimeS, r.DoubleIters), iters(r.StepTimeS, r.StepIters), iters(r.HybridTimeS, r.HybridIters))
+	}
+	tw.Flush()
+}
+
+// PrintFigure8 renders coverage curves as aligned series.
+func PrintFigure8(w io.Writer, series []Figure8Series) {
+	fmt.Fprintln(w, "Figure 8: label coverage (%) by top ranked vertices (%)")
+	for _, s := range series {
+		fmt.Fprintf(w, "%s\n", s.Name)
+		var xs, ys []string
+		for i := range s.TopPercent {
+			xs = append(xs, fmt.Sprintf("%6.2f", s.TopPercent[i]*100))
+			ys = append(ys, fmt.Sprintf("%6.1f", s.Coverage[i]*100))
+		}
+		fmt.Fprintf(w, "  top%%  %s\n", strings.Join(xs, " "))
+		fmt.Fprintf(w, "  cov%%  %s\n", strings.Join(ys, " "))
+	}
+}
+
+// PrintFigure9 renders the scalability series.
+func PrintFigure9(w io.Writer, title string, points []Figure9Point) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, title)
+	fmt.Fprintln(tw, "|V|\t|E|/|V|\t|G| MB\tavg |label|\titerations")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.2f\t%.1f\t%d\n", p.N, p.Density, p.GraphMB, p.AvgLabel, p.Iterations)
+	}
+	tw.Flush()
+}
+
+// PrintFigure10 renders the growth/pruning trace.
+func PrintFigure10(w io.Writer, name string, rows []Figure10Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Figure 10: growth and pruning per iteration (%s)\n", name)
+	fmt.Fprintln(tw, "iter\tmode\tgrowing\tpruning %\t|cand|/|final|\t|old|/|final|\t|prev|/|final|\ttime %")
+	for _, r := range rows {
+		mode := "double"
+		if r.Stepping {
+			mode = "step"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.1f\t%.3f\t%.3f\t%.3f\t%.1f\n",
+			r.Iteration, mode, r.GrowingFactor, r.PruningFactor*100,
+			r.CandOverFinal, r.OldOverFinal, r.PrevOverFinal, r.TimeRatio*100)
+	}
+	tw.Flush()
+}

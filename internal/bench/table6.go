@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskidx"
+	"repro/internal/islabel"
+	"repro/internal/pll"
+	"repro/internal/sp"
+)
+
+// DNF marks a measurement that did not finish (the paper's "—").
+var DNF = math.NaN()
+
+// IsDNF reports whether a measurement is a did-not-finish marker.
+func IsDNF(v float64) bool { return math.IsNaN(v) }
+
+// Table6Row is one dataset's row of the paper's Table 6.
+type Table6Row struct {
+	Name    string
+	Group   string
+	N       int32
+	E       int64
+	MaxDeg  int32
+	GraphMB float64
+
+	// Index sizes in MB; DNF when the builder did not finish.
+	ISSizeMB  float64
+	PLLSizeMB float64
+	HopSizeMB float64
+
+	// Indexing times in seconds.
+	ISTimeS  float64
+	PLLTimeS float64
+	HopTimeS float64
+
+	// Memory-resident query times in microseconds per query.
+	BidijQueryUs float64
+	ISQueryUs    float64
+	PLLQueryUs   float64
+	HopQueryUs   float64
+
+	// Disk-based query times in milliseconds per query, plus the block
+	// I/Os per query for HopDb.
+	ISDiskMs     float64
+	HopDiskMs    float64
+	HopDiskIOsPQ float64
+
+	// Iterations of the HopDb build and external I/O counts.
+	HopIterations int
+	HopReadIOs    int64
+	HopWriteIOs   int64
+
+	// Mismatches counts index answers that differed from BIDIJ ground
+	// truth across the query workload (always 0 on a correct build).
+	Mismatches int
+}
+
+// Table6Options configures the run.
+type Table6Options struct {
+	// Scale multiplies every dataset's vertex count.
+	Scale float64
+	// Queries is the number of random (s,t) pairs per dataset.
+	Queries int
+	// ISMaxEdgeFactor is IS-Label's blow-up budget (paper behaviour:
+	// DNF when the augmented graph explodes).
+	ISMaxEdgeFactor float64
+	// TempDir hosts external-build and disk-index files.
+	TempDir string
+	// Verbose streams progress lines to Progress.
+	Progress func(string)
+}
+
+func (o Table6Options) defaults() Table6Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Queries <= 0 {
+		o.Queries = 500
+	}
+	if o.ISMaxEdgeFactor <= 0 {
+		o.ISMaxEdgeFactor = 6
+	}
+	if o.TempDir == "" {
+		o.TempDir = os.TempDir()
+	}
+	if o.Progress == nil {
+		o.Progress = func(string) {}
+	}
+	return o
+}
+
+// queryWorkload draws deterministic random query pairs.
+func queryWorkload(n int32, q int, seed int64) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int32, q)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	return pairs
+}
+
+// timeQueries measures the average query latency in seconds.
+func timeQueries(pairs [][2]int32, f func(s, t int32) uint32) (float64, []uint32) {
+	answers := make([]uint32, len(pairs))
+	start := time.Now()
+	for i, p := range pairs {
+		answers[i] = f(p[0], p[1])
+	}
+	elapsed := time.Since(start).Seconds()
+	return elapsed / float64(len(pairs)), answers
+}
+
+// RunTable6Dataset produces one row.
+func RunTable6Dataset(d Dataset, opt Table6Options) (Table6Row, error) {
+	opt = opt.defaults()
+	g, err := d.Build(opt.Scale)
+	if err != nil {
+		return Table6Row{}, fmt.Errorf("bench: building %s: %w", d.Name, err)
+	}
+	row := Table6Row{
+		Name:     d.Name,
+		Group:    d.Group,
+		N:        g.N(),
+		E:        g.EdgeCount(),
+		MaxDeg:   g.MaxDegree(),
+		GraphMB:  mb(g.SizeBytes()),
+		ISSizeMB: DNF, PLLSizeMB: DNF, HopSizeMB: DNF,
+		ISTimeS: DNF, PLLTimeS: DNF, HopTimeS: DNF,
+		BidijQueryUs: DNF, ISQueryUs: DNF, PLLQueryUs: DNF, HopQueryUs: DNF,
+		ISDiskMs: DNF, HopDiskMs: DNF, HopDiskIOsPQ: DNF,
+	}
+	pairs := queryWorkload(g.N(), opt.Queries, d.Seed*7+1)
+
+	// BIDIJ baseline (no index).
+	bi := sp.NewBiSearcher(g)
+	secs, truth := timeQueries(pairs, bi.Distance)
+	row.BidijQueryUs = secs * 1e6
+
+	check := func(answers []uint32) int {
+		bad := 0
+		for i := range answers {
+			if answers[i] != truth[i] {
+				bad++
+			}
+		}
+		return bad
+	}
+
+	// HopDb: the paper's disk-based hybrid build.
+	opt.Progress(d.Name + ": HopDb external build")
+	hopIdx, hopStats, err := core.BuildExternal(g, core.Options{
+		Method:  core.Hybrid,
+		TempDir: opt.TempDir,
+	})
+	if err != nil {
+		return row, fmt.Errorf("bench: HopDb on %s: %w", d.Name, err)
+	}
+	row.HopSizeMB = mb(hopIdx.SizeBytes())
+	row.HopTimeS = hopStats.Duration.Seconds()
+	row.HopIterations = hopStats.Iterations
+	row.HopReadIOs = hopStats.ReadIOs
+	row.HopWriteIOs = hopStats.WriteIOs
+	secs, answers := timeQueries(pairs, func(s, t int32) uint32 { return hopIdx.Distance(s, t) })
+	row.HopQueryUs = secs * 1e6
+	row.Mismatches += check(answers)
+
+	// HopDb disk-based querying.
+	diskPath := filepath.Join(opt.TempDir, fmt.Sprintf("t6-%s-hop.disk", d.Name))
+	if err := diskidx.Write(diskPath, hopIdx); err != nil {
+		return row, err
+	}
+	if dq, ios, bad, err := diskQuery(diskPath, pairs, truth); err == nil {
+		row.HopDiskMs = dq * 1e3
+		row.HopDiskIOsPQ = ios
+		row.Mismatches += bad
+	} else {
+		return row, err
+	}
+	os.Remove(diskPath)
+
+	// PLL baseline (in-memory).
+	opt.Progress(d.Name + ": PLL build")
+	pllIdx, pllStats, err := pll.Build(g, 0, false)
+	if err == nil {
+		row.PLLSizeMB = mb(pllIdx.SizeBytes())
+		row.PLLTimeS = pllStats.Duration.Seconds()
+		secs, answers = timeQueries(pairs, pllIdx.Distance)
+		row.PLLQueryUs = secs * 1e6
+		row.Mismatches += check(answers)
+	}
+
+	// IS-Label baseline with the blow-up guard; a trip is the paper's
+	// DNF, not an error.
+	opt.Progress(d.Name + ": IS-Label build")
+	isIdx, isStats, err := islabel.Build(g, islabel.Options{MaxEdgeFactor: opt.ISMaxEdgeFactor})
+	switch {
+	case err == nil:
+		row.ISSizeMB = mb(isIdx.SizeBytes())
+		row.ISTimeS = isStats.Duration.Seconds()
+		secs, answers = timeQueries(pairs, isIdx.Distance)
+		row.ISQueryUs = secs * 1e6
+		row.Mismatches += check(answers)
+		diskPath := filepath.Join(opt.TempDir, fmt.Sprintf("t6-%s-is.disk", d.Name))
+		if err := diskidx.Write(diskPath, isIdx); err != nil {
+			return row, err
+		}
+		if dq, _, bad, err := diskQuery(diskPath, pairs, truth); err == nil {
+			row.ISDiskMs = dq * 1e3
+			row.Mismatches += bad
+		}
+		os.Remove(diskPath)
+	case errors.Is(err, islabel.ErrBlowup):
+		// Leave the DNF markers in place.
+	default:
+		return row, fmt.Errorf("bench: IS-Label on %s: %w", d.Name, err)
+	}
+	return row, nil
+}
+
+// diskQuery times queries against an on-disk index, returning the average
+// seconds per query, average block I/Os per query, and mismatch count.
+func diskQuery(path string, pairs [][2]int32, truth []uint32) (float64, float64, int, error) {
+	dx, err := diskidx.Open(path, diskidx.Options{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer dx.Close()
+	bad := 0
+	start := time.Now()
+	for i, p := range pairs {
+		got, err := dx.Distance(p[0], p[1])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if got != truth[i] {
+			bad++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return elapsed / float64(len(pairs)), float64(dx.IOs()) / float64(len(pairs)), bad, nil
+}
+
+// RunTable6 runs the whole registry.
+func RunTable6(datasets []Dataset, opt Table6Options) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, d := range datasets {
+		row, err := RunTable6Dataset(d, opt)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func mb(bytes int64) float64 { return float64(bytes) / (1 << 20) }

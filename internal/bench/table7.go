@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/label"
+)
+
+// Table7Row is one dataset's row of the paper's Table 7: evidence for
+// the small hitting set / small hub dimension assumptions.
+type Table7Row struct {
+	Name       string
+	Iterations int
+	// AvgLabel is the average number of label entries per vertex.
+	AvgLabel float64
+	// Top70/Top80/Top90 are the fractions (0..1) of the highest-ranked
+	// vertices whose pivots cover 70%/80%/90% of all label entries.
+	Top70 float64
+	Top80 float64
+	Top90 float64
+}
+
+// RunTable7Dataset builds the hybrid index and collects the coverage
+// statistics.
+func RunTable7Dataset(d Dataset, scale float64) (Table7Row, error) {
+	g, err := d.Build(scale)
+	if err != nil {
+		return Table7Row{}, fmt.Errorf("bench: building %s: %w", d.Name, err)
+	}
+	x, st, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		return Table7Row{}, fmt.Errorf("bench: HopDb on %s: %w", d.Name, err)
+	}
+	cov := label.Coverage(x, []float64{0.7, 0.8, 0.9}, 0, 0)
+	return Table7Row{
+		Name:       d.Name,
+		Iterations: st.Iterations,
+		AvgLabel:   x.AvgLabel(),
+		Top70:      cov.TopPercent[0],
+		Top80:      cov.TopPercent[1],
+		Top90:      cov.TopPercent[2],
+	}, nil
+}
+
+// RunTable7 runs the registry.
+func RunTable7(datasets []Dataset, scale float64) ([]Table7Row, error) {
+	var rows []Table7Row
+	for _, d := range datasets {
+		row, err := RunTable7Dataset(d, scale)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Table8Row compares the three construction schedules on one dataset
+// (the paper's Table 8).
+type Table8Row struct {
+	Name string
+	// Times in seconds; DNF when the candidate budget tripped
+	// (rendering the paper's "—" for pure doubling on large graphs).
+	DoubleTimeS float64
+	StepTimeS   float64
+	HybridTimeS float64
+	DoubleIters int
+	StepIters   int
+	HybridIters int
+}
+
+// Table8Options configures the comparison.
+type Table8Options struct {
+	Scale float64
+	// CandidateBudget aborts a build whose per-iteration candidate set
+	// exceeds this multiple of the edge count (0 = 64x).
+	CandidateBudget float64
+}
+
+// RunTable8Dataset measures all three methods.
+func RunTable8Dataset(d Dataset, opt Table8Options) (Table8Row, error) {
+	if opt.Scale <= 0 {
+		opt.Scale = 1
+	}
+	if opt.CandidateBudget <= 0 {
+		opt.CandidateBudget = 64
+	}
+	g, err := d.Build(opt.Scale)
+	if err != nil {
+		return Table8Row{}, fmt.Errorf("bench: building %s: %w", d.Name, err)
+	}
+	budget := int64(opt.CandidateBudget * float64(g.Arcs()))
+	row := Table8Row{Name: d.Name, DoubleTimeS: DNF, StepTimeS: DNF, HybridTimeS: DNF}
+
+	run := func(m core.Method) (float64, int, error) {
+		_, st, err := core.Build(g, core.Options{Method: m, MaxCandidates: budget})
+		if err != nil {
+			if errors.Is(err, core.ErrCandidateBudget) {
+				return DNF, 0, nil
+			}
+			return DNF, 0, err
+		}
+		return st.Duration.Seconds(), st.Iterations, nil
+	}
+	if row.DoubleTimeS, row.DoubleIters, err = run(core.Doubling); err != nil {
+		return row, err
+	}
+	if row.StepTimeS, row.StepIters, err = run(core.Stepping); err != nil {
+		return row, err
+	}
+	if row.HybridTimeS, row.HybridIters, err = run(core.Hybrid); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// RunTable8 runs the registry.
+func RunTable8(datasets []Dataset, opt Table8Options) ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, d := range datasets {
+		row, err := RunTable8Dataset(d, opt)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

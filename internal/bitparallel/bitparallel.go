@@ -1,0 +1,261 @@
+// Package bitparallel implements the paper's Section 6: a post-processing
+// step that converts part of a finished 2-hop index on an undirected
+// unweighted graph into bit-parallel labels. Up to Roots high-ranked
+// vertices become roots r, each with a set Sr of up to 64 of its unused
+// neighbors; label entries whose pivot lies in R or some Sr are folded
+// into per-root tuples (r, d_rv, S^-1, S^0) where the bitmasks record
+// neighbors u in Sr with d_uv - d_rv = -1 or 0. Queries combine the
+// surviving normal labels with a bitwise pass over common roots, located
+// in O(1) per root through a 64-bit marker (the paper's marker/offset
+// optimization).
+package bitparallel
+
+import (
+	"errors"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+// DefaultRoots is the paper's default root count (bounded by 64 here so a
+// single marker word suffices; the paper uses 50).
+const DefaultRoots = 50
+
+// Options tunes the transformation.
+type Options struct {
+	// Roots is the number of bit-parallel roots (default 50, max 64).
+	Roots int
+	// SetSize caps |Sr| (default and max 64).
+	SetSize int
+}
+
+// Tuple is one bit-parallel label entry for an implicit root.
+type Tuple struct {
+	// Dist is d(root, v).
+	Dist uint32
+	// SM1 marks neighbors u in Sr with d(u, v) = Dist - 1.
+	SM1 uint64
+	// S0 marks neighbors u in Sr with d(u, v) = Dist.
+	S0 uint64
+}
+
+// Index is a bit-parallel augmented 2-hop index.
+type Index struct {
+	n     int32
+	perm  []int32
+	roots []int32 // rank ids; slice position = marker bit
+	// marker[v] bit i set means tuples[v] contains a tuple for root i,
+	// stored at position popcount(marker[v] & (1<<i - 1)).
+	marker []uint64
+	tuples [][]Tuple
+	normal [][]label.Entry
+}
+
+// ErrUnsupported is returned for directed or weighted inputs.
+var ErrUnsupported = errors.New("bitparallel: requires an undirected unweighted index")
+
+// Transform builds a bit-parallel index from a finished base index and
+// the (rank-relabeled or original) graph it was built from. The base
+// index is not modified.
+func Transform(base *label.Index, g *graph.Graph, opt Options) (*Index, error) {
+	if base.Directed || base.Weighted || g.Directed() || g.Weighted() {
+		return nil, ErrUnsupported
+	}
+	if opt.Roots <= 0 {
+		opt.Roots = DefaultRoots
+	}
+	if opt.Roots > 64 {
+		opt.Roots = 64
+	}
+	if opt.SetSize <= 0 || opt.SetSize > 64 {
+		opt.SetSize = 64
+	}
+	n := base.N
+	x := &Index{
+		n:      n,
+		perm:   base.Perm,
+		marker: make([]uint64, n),
+		tuples: make([][]Tuple, n),
+		normal: make([][]label.Entry, n),
+	}
+
+	// Choose roots in rank order; their Sr sets are disjoint and exclude
+	// roots. rankAdj maps original-graph neighbors into rank space when
+	// the base index carries a permutation.
+	neighbors := func(rv int32) []int32 {
+		if base.Perm == nil {
+			return g.OutNeighbors(rv)
+		}
+		orig := base.Inv[rv]
+		adj := g.OutNeighbors(orig)
+		out := make([]int32, len(adj))
+		for i, u := range adj {
+			out[i] = base.Perm[u]
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	rootIdxOf := make([]int8, n) // index into roots, -1 otherwise
+	memberRoot := make([]int8, n)
+	memberBit := make([]uint8, n)
+	for i := range rootIdxOf {
+		rootIdxOf[i] = -1
+		memberRoot[i] = -1
+	}
+	used := make([]bool, n)
+	for v := int32(0); v < n && len(x.roots) < opt.Roots; v++ {
+		if used[v] {
+			continue
+		}
+		ri := int8(len(x.roots))
+		x.roots = append(x.roots, v)
+		rootIdxOf[v] = ri
+		used[v] = true
+		bit := 0
+		for _, u := range neighbors(v) {
+			if bit >= opt.SetSize {
+				break
+			}
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			memberRoot[u] = ri
+			memberBit[u] = uint8(bit)
+			bit++
+		}
+	}
+
+	// Scratch per-vertex tuple table indexed by root.
+	type scratchTuple struct {
+		set  bool
+		dist uint32
+		sm1  uint64
+		s0   uint64
+	}
+	scratch := make([]scratchTuple, len(x.roots))
+
+	for v := int32(0); v < n; v++ {
+		for i := range scratch {
+			scratch[i] = scratchTuple{}
+		}
+		var keep []label.Entry
+		for _, e := range base.Out[v] {
+			if ri := rootIdxOf[e.Pivot]; ri >= 0 {
+				s := &scratch[ri]
+				if !s.set || e.Dist < s.dist {
+					s.dist = e.Dist
+				}
+				s.set = true
+				continue
+			}
+			if ri := memberRoot[e.Pivot]; ri >= 0 {
+				s := &scratch[ri]
+				if !s.set {
+					// The paper inserts a fresh (r, d_rv) tuple here;
+					// d_rv comes from the (complete) base index.
+					s.dist = base.DistanceRanked(x.roots[ri], v)
+					s.set = true
+				}
+				switch {
+				case e.Dist+1 == s.dist: // d_uv - d_rv = -1
+					s.sm1 |= 1 << memberBit[e.Pivot]
+				case e.Dist == s.dist: // d_uv - d_rv = 0
+					s.s0 |= 1 << memberBit[e.Pivot]
+				default:
+					// d_uv >= d_rv + 1: dominated by the root, drop.
+				}
+				continue
+			}
+			keep = append(keep, e)
+		}
+		// Seed the self cases the label lists never store: a root knows
+		// itself at distance 0; an Sr member u has d_uu - d_ru = -1.
+		if ri := rootIdxOf[v]; ri >= 0 {
+			scratch[ri].set = true
+			scratch[ri].dist = 0
+			scratch[ri].sm1 = 0
+			scratch[ri].s0 = 0
+		}
+		if ri := memberRoot[v]; ri >= 0 {
+			s := &scratch[ri]
+			if !s.set {
+				s.set = true
+				s.dist = 1
+			}
+			s.sm1 |= 1 << memberBit[v]
+		}
+		x.normal[v] = keep
+		for i := range scratch {
+			if scratch[i].set {
+				x.marker[v] |= 1 << uint(i)
+				x.tuples[v] = append(x.tuples[v], Tuple{
+					Dist: scratch[i].dist,
+					SM1:  scratch[i].sm1,
+					S0:   scratch[i].s0,
+				})
+			}
+		}
+	}
+	return x, nil
+}
+
+// Distance answers a point-to-point query in original vertex ids.
+func (x *Index) Distance(s, t int32) uint32 {
+	if s < 0 || t < 0 || s >= x.n || t >= x.n {
+		return graph.Infinity
+	}
+	if x.perm != nil {
+		s, t = x.perm[s], x.perm[t]
+	}
+	if s == t {
+		return 0
+	}
+	best := label.MergeDistance(x.normal[s], x.normal[t], s, t)
+	common := x.marker[s] & x.marker[t]
+	for m := common; m != 0; m &= m - 1 {
+		i := uint(bits.TrailingZeros64(m))
+		ts := x.tuples[s][bits.OnesCount64(x.marker[s]&((1<<i)-1))]
+		tt := x.tuples[t][bits.OnesCount64(x.marker[t]&((1<<i)-1))]
+		d := ts.Dist + tt.Dist
+		if ts.SM1&tt.SM1 != 0 {
+			d -= 2
+		} else if ts.SM1&tt.S0 != 0 || ts.S0&tt.SM1 != 0 {
+			d -= 1
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Roots returns the number of roots actually chosen.
+func (x *Index) Roots() int { return len(x.roots) }
+
+// NormalEntries counts label entries remaining in the normal lists.
+func (x *Index) NormalEntries() int64 {
+	var total int64
+	for _, l := range x.normal {
+		total += int64(len(l))
+	}
+	return total
+}
+
+// TupleCount counts bit-parallel tuples across all vertices.
+func (x *Index) TupleCount() int64 {
+	var total int64
+	for _, l := range x.tuples {
+		total += int64(len(l))
+	}
+	return total
+}
+
+// SizeBytes estimates the serialized footprint: 8 bytes per normal entry
+// and 20 bytes per tuple (dist + two masks).
+func (x *Index) SizeBytes() int64 {
+	return x.NormalEntries()*8 + x.TupleCount()*20
+}

@@ -1,0 +1,190 @@
+package bitparallel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sp"
+)
+
+func buildBase(t *testing.T, g *graph.Graph) *Index {
+	t.Helper()
+	base, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Transform(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestBitParallelMatchesTruthER(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g, err := gen.ER(60, 150, false, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := buildBase(t, g)
+		truth := sp.AllPairs(g)
+		for s := int32(0); s < g.N(); s++ {
+			for u := int32(0); u < g.N(); u++ {
+				if got := bp.Distance(s, u); got != truth[s][u] {
+					t.Fatalf("seed %d: bp dist(%d,%d) = %d, want %d", seed, s, u, got, truth[s][u])
+				}
+			}
+		}
+	}
+}
+
+func TestBitParallelMatchesTruthScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(700, 4, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := buildBase(t, g)
+	truth := make([]uint32, g.N())
+	for _, s := range []int32{0, 3, 50, 333, 699} {
+		sp.BFSFrom(g, s, truth)
+		for u := int32(0); u < g.N(); u += 3 {
+			if got := bp.Distance(s, u); got != truth[u] {
+				t.Fatalf("bp dist(%d,%d) = %d, want %d", s, u, got, truth[u])
+			}
+		}
+	}
+}
+
+func TestBitParallelMovesEntries(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(500, 5, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Transform(base, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Roots() == 0 {
+		t.Fatal("no roots chosen")
+	}
+	if bp.NormalEntries() >= base.Entries() {
+		t.Errorf("transformation moved no entries: %d normal vs %d base", bp.NormalEntries(), base.Entries())
+	}
+	if bp.TupleCount() == 0 {
+		t.Error("no tuples created")
+	}
+	if bp.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+	// On a hub-heavy graph the fold should be substantial: the top-50
+	// pivots cover most entries (paper Table 7/Figure 8).
+	if float64(bp.NormalEntries()) > 0.8*float64(base.Entries()) {
+		t.Errorf("only %d of %d entries folded; expected most", base.Entries()-bp.NormalEntries(), base.Entries())
+	}
+}
+
+func TestBitParallelRootAndMemberQueries(t *testing.T) {
+	// Star graph: root 0 is the hub; all leaves land in S_0.
+	g, err := gen.Star(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := buildBase(t, g)
+	truth := sp.AllPairs(g)
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			if got := bp.Distance(s, u); got != truth[s][u] {
+				t.Fatalf("star: bp dist(%d,%d) = %d, want %d", s, u, got, truth[s][u])
+			}
+		}
+	}
+}
+
+func TestBitParallelDisconnected(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	b.Grow(5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := buildBase(t, g)
+	if d := bp.Distance(0, 3); d != graph.Infinity {
+		t.Errorf("cross-component dist = %d", d)
+	}
+	if d := bp.Distance(4, 4); d != 0 {
+		t.Errorf("self = %d", d)
+	}
+	if d := bp.Distance(0, 1); d != 1 {
+		t.Errorf("edge dist = %d", d)
+	}
+}
+
+func TestBitParallelRejectsDirected(t *testing.T) {
+	g, err := gen.Path(5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := core.Build(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(base, g, Options{}); err == nil {
+		t.Error("directed input accepted")
+	}
+}
+
+func TestBitParallelRootCap(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(300, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := core.Build(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Transform(base, g, Options{Roots: 999, SetSize: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Roots() > 64 {
+		t.Errorf("roots = %d, want <= 64 (one marker word)", bp.Roots())
+	}
+	truth := make([]uint32, g.N())
+	sp.BFSFrom(g, 10, truth)
+	for u := int32(0); u < g.N(); u += 5 {
+		if got := bp.Distance(10, u); got != truth[u] {
+			t.Fatalf("dist(10,%d) = %d, want %d", u, got, truth[u])
+		}
+	}
+}
+
+func TestBitParallelSmallRootCount(t *testing.T) {
+	g, err := gen.ER(50, 120, false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := core.Build(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Transform(base, g, Options{Roots: 3, SetSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := sp.AllPairs(g)
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			if got := bp.Distance(s, u); got != truth[s][u] {
+				t.Fatalf("small roots: dist(%d,%d) = %d, want %d", s, u, got, truth[s][u])
+			}
+		}
+	}
+}

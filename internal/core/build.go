@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// Build constructs a 2-hop label index in memory with the configured
+// method. The returned index answers queries in original vertex ids.
+func Build(g *graph.Graph, opt Options) (*label.Index, BuildStats, error) {
+	opt = opt.withDefaults(g.Directed())
+	start := time.Now()
+
+	ranked, perm, err := rankGraph(g, opt)
+	if err != nil {
+		return nil, BuildStats{}, fmt.Errorf("core: ranking failed: %w", err)
+	}
+
+	e := newEngine(ranked, opt)
+	e.initialize()
+	iters, err := e.run()
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+
+	x := e.index()
+	x.SetPerm(perm)
+
+	stats := BuildStats{
+		Method:          opt.Method,
+		Iterations:      iters,
+		Entries:         x.Entries(),
+		Duration:        time.Since(start),
+		PerIteration:    e.iters,
+		TotalCandidates: e.totalCandidates,
+		TotalPruned:     e.totalPruned,
+	}
+	return x, stats, nil
+}
+
+// rankGraph relabels g by Options.RankKeys when given, else by
+// Options.Rank.
+func rankGraph(g *graph.Graph, opt Options) (*graph.Graph, []int32, error) {
+	if opt.RankKeys != nil {
+		if int32(len(opt.RankKeys)) != g.N() {
+			return nil, nil, fmt.Errorf("core: RankKeys length %d != |V| %d", len(opt.RankKeys), g.N())
+		}
+		perm := order.FromKeys(opt.RankKeys)
+		ranked, err := g.Relabel(perm)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ranked, perm, nil
+	}
+	return order.Apply(g, opt.Rank)
+}
+
+// BuildRanked builds an index for a graph whose vertex ids are already
+// ranks (0 = highest). No relabeling is performed and the returned index
+// uses the identity mapping. Used by tests and by the external builder's
+// equivalence harness.
+func BuildRanked(g *graph.Graph, opt Options) (*label.Index, BuildStats, error) {
+	opt = opt.withDefaults(g.Directed())
+	start := time.Now()
+	e := newEngine(g, opt)
+	e.initialize()
+	iters, err := e.run()
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	x := e.index()
+	stats := BuildStats{
+		Method:          opt.Method,
+		Iterations:      iters,
+		Entries:         x.Entries(),
+		Duration:        time.Since(start),
+		PerIteration:    e.iters,
+		TotalCandidates: e.totalCandidates,
+		TotalPruned:     e.totalPruned,
+	}
+	return x, stats, nil
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+	"repro/internal/sp"
+)
+
+// buildFor builds an index with the given method over an already-ranked
+// graph (order.ByID), failing the test on error.
+func buildRankedT(t *testing.T, g *graph.Graph, opt Options) (*label.Index, BuildStats) {
+	t.Helper()
+	opt.Rank = order.ByID
+	opt.RankSet = true
+	x, st, err := BuildRanked(g, opt)
+	if err != nil {
+		t.Fatalf("BuildRanked: %v", err)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatalf("index invalid: %v", err)
+	}
+	return x, st
+}
+
+// checkAllPairs verifies every pairwise distance against BFS/Dijkstra.
+func checkAllPairs(t *testing.T, g *graph.Graph, x *label.Index, context string) {
+	t.Helper()
+	truth := sp.AllPairs(g)
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			got := x.Distance(s, u)
+			if got != truth[s][u] {
+				t.Fatalf("%s: dist(%d,%d) = %d, want %d", context, s, u, got, truth[s][u])
+			}
+		}
+	}
+}
+
+// figure5 returns the expected non-trivial label entries of the paper's
+// Figure 5 (Hop-Doubling without pruning on the Figure 3 graph). The
+// printed figure omits (0,2) and (1,3) from Lout(7), but the labeling
+// objective O1 requires both: 7->2->0 and 7->2->3->1 are trough shortest
+// paths (all internal vertices rank below the endpoint pivots), and
+// without the entries the queries dist(7,0) and dist(7,1) would wrongly
+// return infinity under the unpruned labeling. We treat the omissions as
+// figure typos and include the entries.
+func figure5() (out, in map[int32][]label.Entry) {
+	e := func(p int32, d uint32) label.Entry { return label.Entry{Pivot: p, Dist: d} }
+	out = map[int32][]label.Entry{
+		1: {e(0, 1)},
+		2: {e(0, 1), e(1, 2)},
+		3: {e(0, 2), e(1, 1), e(2, 2)},
+		4: {e(0, 1), e(1, 1), e(2, 4), e(3, 2)},
+		5: {e(0, 3), e(1, 2), e(2, 3), e(3, 1)},
+		7: {e(0, 2), e(1, 3), e(2, 1)},
+	}
+	in = map[int32][]label.Entry{
+		1: {e(0, 1)},
+		3: {e(2, 1)},
+		5: {e(4, 1)},
+		6: {e(0, 1), e(2, 1)},
+		7: {e(2, 2), e(3, 1)},
+	}
+	return out, in
+}
+
+func entriesEqual(a, b []label.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaperFigure5 reproduces the paper's Example 1: Hop-Doubling without
+// pruning on the Figure 3 graph must generate exactly the Figure 5 labels.
+func TestPaperFigure5(t *testing.T) {
+	g := gen.PaperFigure3()
+	x, st := buildRankedT(t, g, Options{Method: Doubling, DisablePruning: true})
+	wantOut, wantIn := figure5()
+	for v := int32(0); v < g.N(); v++ {
+		if !entriesEqual(x.Out[v], wantOut[v]) {
+			t.Errorf("Lout(%d) = %v, want %v", v, x.Out[v], wantOut[v])
+		}
+		if !entriesEqual(x.In[v], wantIn[v]) {
+			t.Errorf("Lin(%d) = %v, want %v", v, x.In[v], wantIn[v])
+		}
+	}
+	// The paper observes labeling completes after the third iteration
+	// finds nothing new.
+	if st.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3 (per Example 1)", st.Iterations)
+	}
+	checkAllPairs(t, g, x, "figure5")
+}
+
+// TestPaperExample2 reproduces the pruning example: with pruning on,
+// (2 -> 1, 2) must be pruned because of (2 -> 0, 1) and (0 -> 1, 1).
+func TestPaperExample2(t *testing.T) {
+	g := gen.PaperFigure3()
+	x, _ := buildRankedT(t, g, Options{Method: Doubling})
+	if _, ok := label.Lookup(x.Out[2], 1); ok {
+		t.Errorf("Lout(2) still contains pivot 1; want it pruned via hub 0")
+	}
+	// Pruning must not break any query.
+	checkAllPairs(t, g, x, "example2")
+	// The required entry for dist(7, 0) must survive: no higher-ranked
+	// hub than 0 exists.
+	if d, ok := label.Lookup(x.Out[7], 0); !ok || d != 2 {
+		t.Errorf("Lout(7) pivot 0 = (%d,%v), want (2,true)", d, ok)
+	}
+}
+
+// TestPaperExample3 checks the Hop-Stepping schedule: (4 -> 2) must reach
+// distance 4 only at iteration 3 (per Example 3), so a 2-iteration capped
+// stepping build must not contain it while a 3-iteration build must.
+func TestPaperExample3(t *testing.T) {
+	g := gen.PaperFigure3()
+	x2, _ := buildRankedT(t, g, Options{Method: Stepping, MaxIterations: 2})
+	if _, ok := label.Lookup(x2.Out[4], 2); ok {
+		t.Errorf("stepping generated (4->2) within 2 iterations; paper's Example 3 says iteration 3")
+	}
+	x3, _ := buildRankedT(t, g, Options{Method: Stepping, MaxIterations: 3})
+	if d, ok := label.Lookup(x3.Out[4], 2); !ok || d != 4 {
+		t.Errorf("after 3 stepping iterations (4->2) = (%d,%v), want (4,true)", d, ok)
+	}
+}
+
+func methodsUnderTest() []Options {
+	return []Options{
+		{Method: Hybrid},
+		{Method: Doubling},
+		{Method: Stepping},
+		{Method: Hybrid, SwitchIteration: 2},
+		{Method: Doubling, DisablePruning: true},
+		{Method: Stepping, DisablePruning: true},
+	}
+}
+
+// TestCorrectnessRandomGraphs exhaustively verifies all-pairs distances on
+// randomized graphs across every method, both directions, and both weight
+// modes.
+func TestCorrectnessRandomGraphs(t *testing.T) {
+	type shape struct {
+		directed bool
+		weighted bool
+	}
+	shapes := []shape{{false, false}, {true, false}, {false, true}, {true, true}}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 4; seed++ {
+			g0, err := gen.ER(40, 110, sh.directed, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := g0
+			if sh.weighted {
+				g, err = gen.WithRandomWeights(g0, 9, seed+100)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, opt := range methodsUnderTest() {
+				x, _ := buildRankedT(t, g, opt)
+				ctx := opt.Method.String()
+				if opt.DisablePruning {
+					ctx += "-nopruning"
+				}
+				checkAllPairs(t, g, x, ctx)
+			}
+		}
+	}
+}
+
+// TestCorrectnessScaleFree checks random pairs on a larger GLP graph with
+// the real (degree) ranking path through Build.
+func TestCorrectnessScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(800, 3.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Hybrid, Doubling, Stepping} {
+		x, _, err := Build(g, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make([]uint32, g.N())
+		for _, s := range []int32{0, 1, 17, 333, 799} {
+			sp.BFSFrom(g, s, truth)
+			for u := int32(0); u < g.N(); u += 13 {
+				if got := x.Distance(s, u); got != truth[u] {
+					t.Fatalf("%v: dist(%d,%d) = %d, want %d", m, s, u, got, truth[u])
+				}
+			}
+		}
+	}
+}
+
+// TestDegenerateGraphs covers empty, single-vertex, and edgeless inputs.
+func TestDegenerateGraphs(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	b.Grow(5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st := buildRankedT(t, g, Options{Method: Hybrid})
+	if st.Entries != 0 {
+		t.Errorf("edgeless graph produced %d entries", st.Entries)
+	}
+	if d := x.Distance(0, 4); d != graph.Infinity {
+		t.Errorf("dist in edgeless graph = %d, want Infinity", d)
+	}
+	if d := x.Distance(3, 3); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+
+	empty, err := graph.NewBuilder(false, false).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _, err := Build(empty, Options{}); err != nil || x.N != 0 {
+		t.Errorf("empty graph build: %v %v", x, err)
+	}
+}
+
+// TestSpecialFamilies verifies stars, paths, cycles, and complete graphs.
+func TestSpecialFamilies(t *testing.T) {
+	families := map[string]func() (*graph.Graph, error){
+		"star":     func() (*graph.Graph, error) { return gen.Star(20) },
+		"path":     func() (*graph.Graph, error) { return gen.Path(17, false) },
+		"dipath":   func() (*graph.Graph, error) { return gen.Path(17, true) },
+		"cycle":    func() (*graph.Graph, error) { return gen.Cycle(12, false) },
+		"dicycle":  func() (*graph.Graph, error) { return gen.Cycle(12, true) },
+		"complete": func() (*graph.Graph, error) { return gen.Complete(12) },
+		"grid":     func() (*graph.Graph, error) { return gen.GridRoad(5, 5, 7, 3) },
+	}
+	for name, mk := range families {
+		g, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, m := range []Method{Hybrid, Doubling, Stepping} {
+			x, _, err := Build(g, Options{Method: m})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			checkAllPairs(t, g, x, name+"/"+m.String())
+		}
+	}
+}
+
+// TestStarLabelsAreTiny reproduces the paper's Table 4 observation: with
+// the hub ranked first, a star graph's labels contain exactly one entry
+// per leaf.
+func TestStarLabelsAreTiny(t *testing.T) {
+	g, err := gen.Star(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := x.Entries(), int64(49); got != want {
+		t.Errorf("star entries = %d, want %d (one per leaf)", got, want)
+	}
+}
+
+// TestPruningReducesLabels checks the ablation direction: pruning must
+// never increase the label count, and on scale-free graphs must shrink it.
+func TestPruningReducesLabels(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(400, 4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned, _, err := Build(g, Options{Method: Hybrid, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Entries() > unpruned.Entries() {
+		t.Errorf("pruned index larger than unpruned: %d > %d", pruned.Entries(), unpruned.Entries())
+	}
+	if pruned.Entries() >= unpruned.Entries() {
+		t.Errorf("pruning had no effect on a scale-free graph: %d vs %d", pruned.Entries(), unpruned.Entries())
+	}
+}
+
+// TestDeterminism: identical inputs and options must produce identical
+// indexes.
+func TestDeterminism(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(300, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("two identical builds produced different indexes")
+	}
+}
+
+// TestWeightedImprovement forces the update path: a heavy direct edge must
+// be improved by a lighter two-hop path whose midpoint ranks below the
+// pivot, so pruning cannot intercept it.
+func TestWeightedImprovement(t *testing.T) {
+	b := graph.NewBuilder(true, true)
+	b.AddEdge(3, 1, 10)
+	b.AddEdge(3, 2, 1)
+	b.AddEdge(2, 1, 1)
+	b.Grow(4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Hybrid, Doubling, Stepping} {
+		x, _ := buildRankedT(t, g, Options{Method: m})
+		if d, ok := label.Lookup(x.Out[3], 1); !ok || d != 2 {
+			t.Errorf("%v: Lout(3) pivot 1 = (%d,%v), want improved (2,true)", m, d, ok)
+		}
+		if d := x.Distance(3, 1); d != 2 {
+			t.Errorf("%v: dist(3,1) = %d, want 2", m, d)
+		}
+	}
+}
+
+// TestMethodsAgree: all three schedules answer identically on random
+// scale-free graphs (they may store different label sets).
+func TestMethodsAgree(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawParams{N: 300, Density: 3, Alpha: 2.2, Directed: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx []*label.Index
+	for _, m := range []Method{Hybrid, Doubling, Stepping} {
+		x, _, err := Build(g, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx = append(idx, x)
+	}
+	for s := int32(0); s < g.N(); s += 7 {
+		for u := int32(0); u < g.N(); u += 11 {
+			d0 := idx[0].Distance(s, u)
+			for i := 1; i < len(idx); i++ {
+				if d := idx[i].Distance(s, u); d != d0 {
+					t.Fatalf("method disagreement dist(%d,%d): %d vs %d", s, u, d0, d)
+				}
+			}
+		}
+	}
+}
+
+// TestIterationStats sanity-checks the Figure 10 instrumentation.
+func TestIterationStats(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(500, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Build(g, Options{Method: Hybrid, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerIteration) != st.Iterations {
+		t.Fatalf("stats rows %d != iterations %d", len(st.PerIteration), st.Iterations)
+	}
+	var survivors int64
+	for i, it := range st.PerIteration {
+		if it.Iteration != i+1 {
+			t.Errorf("row %d has iteration %d", i, it.Iteration)
+		}
+		if it.Survivors != it.Candidates-it.Pruned {
+			t.Errorf("iter %d: survivors %d != candidates %d - pruned %d", it.Iteration, it.Survivors, it.Candidates, it.Pruned)
+		}
+		if it.Raw < it.Candidates {
+			t.Errorf("iter %d: raw %d < deduped %d", it.Iteration, it.Raw, it.Candidates)
+		}
+		survivors += it.Survivors
+	}
+	last := st.PerIteration[len(st.PerIteration)-1]
+	if last.Survivors != 0 {
+		t.Errorf("final iteration had %d survivors, want 0 at fixpoint", last.Survivors)
+	}
+	if st.TotalPruned == 0 {
+		t.Error("expected some pruning on a scale-free graph")
+	}
+}
+
+// TestMaxIterationsCap: a capped build terminates early and still
+// validates structurally.
+func TestMaxIterationsCap(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(300, 3, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := Build(g, Options{Method: Stepping, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", st.Iterations)
+	}
+	if err := x.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirectedReachability: queries across unreachable pairs return
+// Infinity rather than a bogus distance.
+func TestDirectedReachability(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1) // separate component
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := buildRankedT(t, g, Options{Method: Hybrid})
+	if d := x.Distance(2, 0); d != graph.Infinity {
+		t.Errorf("dist(2,0) = %d, want Infinity (edges are one-way)", d)
+	}
+	if d := x.Distance(0, 4); d != graph.Infinity {
+		t.Errorf("dist(0,4) = %d, want Infinity (separate component)", d)
+	}
+	if d := x.Distance(0, 2); d != 2 {
+		t.Errorf("dist(0,2) = %d, want 2", d)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pll"
+)
+
+// TestHopDbMatchesPLLOnUnweighted cross-validates the two independent
+// labeling implementations: on unweighted graphs, HopDb with pruning and
+// PLL both produce the canonical labeling for the same vertex ranking
+// (every pair keeps exactly the entry whose pivot is the highest-ranked
+// vertex across its shortest paths), so their label sets must coincide
+// exactly. This held for every unweighted dataset in the Table 6 sweep;
+// the test pins it.
+func TestHopDbMatchesPLLOnUnweighted(t *testing.T) {
+	shapes := []struct {
+		directed bool
+		seed     int64
+	}{{false, 1}, {false, 2}, {true, 3}, {true, 4}}
+	for _, sh := range shapes {
+		g, err := gen.ER(60, 170, sh.directed, sh.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hop, _ := buildRankedT(t, g, Options{Method: Hybrid})
+		pllIdx, _ := pll.BuildRanked(g)
+		if !hop.Equal(pllIdx) {
+			// Narrow down the first difference for the failure report.
+			for v := int32(0); v < g.N(); v++ {
+				if len(hop.Out[v]) != len(pllIdx.Out[v]) {
+					t.Fatalf("directed=%v seed=%d: Lout(%d) differs: hopdb %v vs pll %v",
+						sh.directed, sh.seed, v, hop.Out[v], pllIdx.Out[v])
+				}
+				if g.Directed() && len(hop.In[v]) != len(pllIdx.In[v]) {
+					t.Fatalf("directed=%v seed=%d: Lin(%d) differs: hopdb %v vs pll %v",
+						sh.directed, sh.seed, v, hop.In[v], pllIdx.In[v])
+				}
+			}
+			t.Fatalf("directed=%v seed=%d: label sets differ in content", sh.directed, sh.seed)
+		}
+	}
+}
+
+// TestHopDbMatchesPLLScaleFree pins the same equivalence on a scale-free
+// graph through the ranking code path used in production.
+func TestHopDbMatchesPLLScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(700, 5, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pllIdx, _, err := pll.Build(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hop.Equal(pllIdx) {
+		t.Fatal("HopDb and PLL disagree on a scale-free unweighted graph")
+	}
+}
+
+// TestWeightedSizesMayDiffer documents the honest deviation: on weighted
+// graphs HopDb can retain entries whose distances are correct upper
+// bounds for covered paths but whose pairs PLL covers through higher
+// pivots, so HopDb's weighted indexes can be somewhat larger. Queries are
+// identical either way.
+func TestWeightedSizesMayDiffer(t *testing.T) {
+	g0, err := gen.GLP(gen.DefaultGLP(400, 4, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.WithRandomWeights(g0, 5, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pllIdx, _, err := pll.Build(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop.Entries() < pllIdx.Entries() {
+		t.Logf("note: weighted HopDb smaller than PLL here (%d vs %d)", hop.Entries(), pllIdx.Entries())
+	}
+	for s := int32(0); s < g.N(); s += 13 {
+		for u := int32(0); u < g.N(); u += 7 {
+			a := hop.Distance(s, u)
+			b := pllIdx.Distance(s, u)
+			if a != b {
+				t.Fatalf("weighted disagreement dist(%d,%d): %d vs %d", s, u, a, b)
+			}
+		}
+	}
+}

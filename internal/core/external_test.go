@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// extOptions returns external-memory settings small enough to force real
+// block and memory pressure at test scale.
+func extOptions(t *testing.T, base Options) Options {
+	t.Helper()
+	base.TempDir = t.TempDir()
+	base.BlockSize = 16
+	base.MemoryBudget = 256
+	return base
+}
+
+// TestExternalEquivalence is the central external-builder test: for every
+// method, direction, and weight mode, the external builder must produce
+// exactly the same label sets as the in-memory builder.
+func TestExternalEquivalence(t *testing.T) {
+	type shape struct {
+		directed bool
+		weighted bool
+	}
+	shapes := []shape{{false, false}, {true, false}, {false, true}, {true, true}}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 3; seed++ {
+			g0, err := gen.ER(50, 140, sh.directed, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := g0
+			if sh.weighted {
+				g, err = gen.WithRandomWeights(g0, 6, seed+40)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, m := range []Method{Hybrid, Doubling, Stepping} {
+				opt := Options{Method: m, SwitchIteration: 3}
+				mem, _, err := Build(g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ext, st, err := BuildExternal(g, extOptions(t, opt))
+				if err != nil {
+					t.Fatalf("external %v: %v", m, err)
+				}
+				if !mem.Equal(ext) {
+					t.Fatalf("directed=%v weighted=%v seed=%d method=%v: external labels differ from in-memory",
+						sh.directed, sh.weighted, seed, m)
+				}
+				if st.ReadIOs == 0 || st.WriteIOs == 0 {
+					t.Errorf("method %v: no I/O recorded (reads=%d writes=%d)", m, st.ReadIOs, st.WriteIOs)
+				}
+			}
+		}
+	}
+}
+
+// TestExternalEquivalenceScaleFree runs the equivalence check on a
+// scale-free graph large enough to force multiple outer-loop batches and
+// external sort runs.
+func TestExternalEquivalenceScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(600, 4, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Method: Hybrid}
+	mem, memStats, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, extStats, err := BuildExternal(g, extOptions(t, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Equal(ext) {
+		t.Fatal("external labels differ from in-memory on scale-free graph")
+	}
+	if memStats.Iterations != extStats.Iterations {
+		t.Errorf("iteration counts differ: %d vs %d", memStats.Iterations, extStats.Iterations)
+	}
+	if memStats.TotalCandidates != extStats.TotalCandidates {
+		t.Errorf("candidate totals differ: %d vs %d", memStats.TotalCandidates, extStats.TotalCandidates)
+	}
+	if memStats.TotalPruned != extStats.TotalPruned {
+		t.Errorf("pruned totals differ: %d vs %d", memStats.TotalPruned, extStats.TotalPruned)
+	}
+}
+
+// TestExternalNoPruning checks the ablation path matches in-memory too.
+func TestExternalNoPruning(t *testing.T) {
+	g, err := gen.ER(30, 70, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Method: Stepping, DisablePruning: true}
+	mem, _, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, _, err := BuildExternal(g, extOptions(t, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Equal(ext) {
+		t.Fatal("no-pruning external differs from in-memory")
+	}
+}
+
+// TestExternalDirectRanking exercises the Build path (degree ranking) and
+// the paper Figure 3 example through the external builder.
+func TestExternalPaperExample(t *testing.T) {
+	g := gen.PaperFigure3()
+	opt := Options{Method: Doubling, Rank: order.ByID, RankSet: true}
+	mem, _, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, _, err := BuildExternal(g, extOptions(t, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Equal(ext) {
+		t.Fatal("external differs on the paper example")
+	}
+	if d := ext.Distance(7, 0); d != 2 {
+		t.Errorf("dist(7,0) = %d, want 2", d)
+	}
+}
+
+// TestExternalDegenerate: empty and edgeless graphs must not crash the
+// file plumbing.
+func TestExternalDegenerate(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	b.Grow(4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := BuildExternal(g, extOptions(t, Options{Method: Hybrid}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d", st.Entries)
+	}
+	if d := x.Distance(0, 3); d != graph.Infinity {
+		t.Errorf("dist = %d", d)
+	}
+}
+
+// TestExternalMaxIterations: caps apply to the external builder too.
+func TestExternalMaxIterations(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(200, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := BuildExternal(g, extOptions(t, Options{Method: Stepping, MaxIterations: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", st.Iterations)
+	}
+}
+
+// TestExternalIterStats: per-iteration stats must match the in-memory
+// builder's numbers exactly.
+func TestExternalIterStats(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(300, 3, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Method: Hybrid, CollectStats: true}
+	_, memStats, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, extStats, err := BuildExternal(g, extOptions(t, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memStats.PerIteration) != len(extStats.PerIteration) {
+		t.Fatalf("iteration rows: %d vs %d", len(memStats.PerIteration), len(extStats.PerIteration))
+	}
+	for i := range memStats.PerIteration {
+		m, x := memStats.PerIteration[i], extStats.PerIteration[i]
+		if m.Candidates != x.Candidates || m.Pruned != x.Pruned || m.Survivors != x.Survivors {
+			t.Errorf("iteration %d: mem (c=%d p=%d s=%d) vs ext (c=%d p=%d s=%d)",
+				m.Iteration, m.Candidates, m.Pruned, m.Survivors, x.Candidates, x.Pruned, x.Survivors)
+		}
+		if m.LabelSize != x.LabelSize {
+			t.Errorf("iteration %d: label size %d vs %d", m.Iteration, m.LabelSize, x.LabelSize)
+		}
+	}
+}

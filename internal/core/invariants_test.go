@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+	"repro/internal/sp"
+)
+
+// TestEntryDistancesNeverUnderestimate: every stored label entry covers a
+// real path, so its distance can never be below the true graph distance.
+// For unweighted stepping with pruning the distances are exactly the true
+// distances (candidates at iteration i always cover i-hop paths, and any
+// overestimate is pruned by witnesses that arrived earlier).
+func TestEntryDistancesNeverUnderestimate(t *testing.T) {
+	for _, m := range []Method{Hybrid, Doubling, Stepping} {
+		g, err := gen.ER(50, 150, true, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := buildRankedT(t, g, Options{Method: m})
+		truth := sp.AllPairs(g)
+		exact := m == Stepping
+		for v := int32(0); v < g.N(); v++ {
+			for _, e := range x.Out[v] {
+				d := truth[v][e.Pivot]
+				if e.Dist < d {
+					t.Fatalf("%v: Lout(%d) pivot %d dist %d < true %d", m, v, e.Pivot, e.Dist, d)
+				}
+				if exact && e.Dist != d {
+					t.Fatalf("stepping: Lout(%d) pivot %d dist %d != true %d", v, e.Pivot, e.Dist, d)
+				}
+			}
+			for _, e := range x.In[v] {
+				d := truth[e.Pivot][v]
+				if e.Dist < d {
+					t.Fatalf("%v: Lin(%d) pivot %d dist %d < true %d", m, v, e.Pivot, e.Dist, d)
+				}
+				if exact && e.Dist != d {
+					t.Fatalf("stepping: Lin(%d) pivot %d dist %d != true %d", v, e.Pivot, e.Dist, d)
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalEntriesPresent: for every pair (u,v) whose highest-ranked
+// shortest-path vertex is an endpoint, the direct entry must exist with
+// the exact distance — the canonical-labeling property the correctness
+// proof (Theorem 3) rests on.
+func TestCanonicalEntriesPresent(t *testing.T) {
+	g, err := gen.ER(40, 120, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := buildRankedT(t, g, Options{Method: Hybrid})
+	truth := sp.AllPairs(g)
+	n := g.N()
+	// onShortest[s][t] via checking d(s,w)+d(w,t)==d(s,t).
+	for s := int32(0); s < n; s++ {
+		for u := int32(0); u < n; u++ {
+			if s == u || truth[s][u] == graph.Infinity {
+				continue
+			}
+			// Find the highest-ranked vertex on any shortest s->u path.
+			best := int32(n)
+			for w := int32(0); w < n; w++ {
+				if truth[s][w] != graph.Infinity && truth[w][u] != graph.Infinity &&
+					truth[s][w]+truth[w][u] == truth[s][u] {
+					if w < best {
+						best = w
+					}
+				}
+			}
+			switch best {
+			case u: // u outranks everything: Lout(s) must hold (u, d)
+				if d, ok := label.Lookup(x.Out[s], u); !ok || d != truth[s][u] {
+					t.Fatalf("missing canonical out-entry (%d->%d): got (%d,%v), want %d", s, u, d, ok, truth[s][u])
+				}
+			case s: // s outranks everything: Lin(u) must hold (s, d)
+				if d, ok := label.Lookup(x.In[u], s); !ok || d != truth[s][u] {
+					t.Fatalf("missing canonical in-entry (%d->%d): got (%d,%v), want %d", s, u, d, ok, truth[s][u])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentQueries: a finished index is safe for concurrent readers.
+func TestConcurrentQueries(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(500, 4, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := Build(g, Options{Method: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]uint32, g.N())
+	sp.BFSFrom(g, 3, truth)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := int32(0); u < g.N(); u++ {
+				if got := x.Distance(3, u); got != truth[u] {
+					errs <- "mismatch under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestRankKeysValidation: bad custom rankings are rejected cleanly.
+func TestRankKeysValidation(t *testing.T) {
+	g, err := gen.Path(6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(g, Options{RankKeys: []int64{1, 2}}); err == nil {
+		t.Error("short RankKeys accepted")
+	}
+	keys := []int64{0, 10, 20, 20, 10, 0} // center-first ranking
+	x, _, err := Build(g, Options{RankKeys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := sp.AllPairs(g)
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			if got := x.Distance(s, u); got != truth[s][u] {
+				t.Fatalf("custom ranking broke dist(%d,%d): %d vs %d", s, u, got, truth[s][u])
+			}
+		}
+	}
+}
+
+// TestBetweennessRankingOnGrid: the Section 7 heuristic ranking produces
+// a correct index and (on hub-free grids) labels no larger than 2x the
+// degree ranking's.
+func TestBetweennessRankingOnGrid(t *testing.T) {
+	g, err := gen.GridRoad(8, 8, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := order.SampledBetweenness(g, 32, 1)
+	central, _, err := Build(g, Options{RankKeys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDegree, _, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := sp.AllPairs(g)
+	for s := int32(0); s < g.N(); s += 3 {
+		for u := int32(0); u < g.N(); u += 5 {
+			if got := central.Distance(s, u); got != truth[s][u] {
+				t.Fatalf("betweenness ranking broke dist(%d,%d)", s, u)
+			}
+		}
+	}
+	if central.Entries() > 2*byDegree.Entries() {
+		t.Errorf("betweenness ranking produced %d entries vs degree's %d", central.Entries(), byDegree.Entries())
+	}
+}

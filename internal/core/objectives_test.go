@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/sp"
+)
+
+// troughDistances computes, for every ordered pair (v, u), the length of
+// the shortest *trough* path: one whose internal vertices all rank below
+// both endpoints (id greater than min(id(v), id(u))). It uses an ordered
+// Floyd-Warshall: D_k allows intermediates with id >= k, and the trough
+// distance for (v, u) reads D at k = min(v, u) + 1.
+func troughDistances(g *graph.Graph) [][]uint32 {
+	n := int(g.N())
+	// cur[v][u] = shortest v->u path using intermediates with id >= k,
+	// computed by lowering k from n (no intermediates) to 0.
+	cur := make([][]uint32, n)
+	for v := range cur {
+		cur[v] = make([]uint32, n)
+		for u := range cur[v] {
+			cur[v][u] = graph.Infinity
+		}
+		cur[v][v] = 0
+	}
+	for v := int32(0); v < g.N(); v++ {
+		adj := g.OutNeighbors(v)
+		ws := g.OutWeights(v)
+		for i, u := range adj {
+			w := uint32(1)
+			if ws != nil {
+				w = uint32(ws[i])
+			}
+			if w < cur[v][u] {
+				cur[v][u] = w
+			}
+		}
+	}
+	// trough[v][u] snapshots cur at the moment k = min(v,u)+1.
+	trough := make([][]uint32, n)
+	for v := range trough {
+		trough[v] = make([]uint32, n)
+	}
+	for k := n - 1; k >= 0; k-- {
+		// cur currently allows intermediates with id >= k+1; snapshot
+		// pairs whose trough threshold is exactly k+1 (min endpoint k).
+		for other := 0; other < n; other++ {
+			trough[k][other] = cur[k][other]
+			trough[other][k] = cur[other][k]
+		}
+		// Now admit k as an intermediate.
+		for v := 0; v < n; v++ {
+			dvk := cur[v][k]
+			if dvk == graph.Infinity {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if dku := cur[k][u]; dku != graph.Infinity && dvk+dku < cur[v][u] {
+					cur[v][u] = dvk + dku
+				}
+			}
+		}
+	}
+	return trough
+}
+
+// TestLabelingObjectives verifies Lemma 2 declaratively: the unpruned
+// index contains (u, dist) in Lout(v) exactly when a trough shortest path
+// v -> u exists with r(u) > r(v) (objective O1), and symmetrically for
+// Lin (objective O2). It also confirms no entry beats its pair's true
+// distance.
+func TestLabelingObjectives(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, err := gen.ER(28, 80, true, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := buildRankedT(t, g, Options{Method: Doubling, DisablePruning: true})
+		truth := sp.AllPairs(g)
+		trough := troughDistances(g)
+		n := g.N()
+		for v := int32(0); v < n; v++ {
+			for u := int32(0); u < v; u++ { // id(u) < id(v): u outranks v
+				// O1: trough shortest path v -> u  =>  (u, d) in Lout(v).
+				required := trough[v][u] != graph.Infinity && trough[v][u] == truth[v][u]
+				d, ok := label.Lookup(x.Out[v], u)
+				if required {
+					if !ok || d != truth[v][u] {
+						t.Fatalf("seed %d: O1 violated for (%d->%d): entry (%d,%v), want %d",
+							seed, v, u, d, ok, truth[v][u])
+					}
+				}
+				if ok && d < truth[v][u] {
+					t.Fatalf("seed %d: Lout(%d) pivot %d underestimates: %d < %d", seed, v, u, d, truth[v][u])
+				}
+				// O2: trough shortest path u -> v  =>  (u, d) in Lin(v).
+				required = trough[u][v] != graph.Infinity && trough[u][v] == truth[u][v]
+				d, ok = label.Lookup(x.In[v], u)
+				if required {
+					if !ok || d != truth[u][v] {
+						t.Fatalf("seed %d: O2 violated for (%d->%d): entry (%d,%v), want %d",
+							seed, u, v, d, ok, truth[u][v])
+					}
+				}
+				if ok && d < truth[u][v] {
+					t.Fatalf("seed %d: Lin(%d) pivot %d underestimates: %d < %d", seed, v, u, d, truth[u][v])
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedSubset: with pruning on, every surviving pair also appears in
+// the unpruned index (pruning only removes entries), and every canonical
+// pair survives pruning.
+func TestPrunedSubset(t *testing.T) {
+	g, err := gen.ER(30, 90, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, _ := buildRankedT(t, g, Options{Method: Doubling})
+	unpruned, _ := buildRankedT(t, g, Options{Method: Doubling, DisablePruning: true})
+	for v := int32(0); v < g.N(); v++ {
+		for _, e := range pruned.Out[v] {
+			if _, ok := label.Lookup(unpruned.Out[v], e.Pivot); !ok {
+				t.Fatalf("pruned index has extra pair Lout(%d) pivot %d", v, e.Pivot)
+			}
+		}
+		for _, e := range pruned.In[v] {
+			if _, ok := label.Lookup(unpruned.In[v], e.Pivot); !ok {
+				t.Fatalf("pruned index has extra pair Lin(%d) pivot %d", v, e.Pivot)
+			}
+		}
+	}
+	if pruned.Entries() > unpruned.Entries() {
+		t.Fatal("pruning increased entry count")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/label"
+)
+
+// Parallel construction is an extension beyond the paper: the generation
+// and pruning phases of each iteration shard across Options.Parallelism
+// workers. Generation reads the (frozen) previous-iteration labels only,
+// so shards are independent; pruning shards along candidate owner-group
+// boundaries with per-worker scratch tables. Because candidates are
+// deduplicated by a full sort before pruning, the parallel build produces
+// exactly the same index as the serial build (enforced by tests).
+
+// workerCount resolves the effective parallelism.
+func (e *engine) workerCount() int {
+	w := e.opt.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	if max := runtime.GOMAXPROCS(0) * 2; w > max {
+		w = max
+	}
+	return w
+}
+
+// generateParallel fans the prev entries across workers, each with a
+// private candidate buffer, then concatenates. The concatenation order
+// does not matter: dedup sorts everything.
+func (e *engine) generateParallel(stepping bool) {
+	workers := e.workerCount()
+	e.candOut = appendShards(e.candOut, e.prevOut, workers, func(c cand, emit func(cand)) {
+		if stepping {
+			e.extendOutStepping(c, emit)
+		} else {
+			e.extendOutDoubling(c, emit)
+		}
+	})
+	if !e.directed {
+		return
+	}
+	e.candIn = appendShards(e.candIn, e.prevIn, workers, func(c cand, emit func(cand)) {
+		if stepping {
+			e.extendInStepping(c, emit)
+		} else {
+			e.extendInDoubling(c, emit)
+		}
+	})
+}
+
+// appendShards runs extend over prev in parallel shards and appends all
+// produced candidates to dst.
+func appendShards(dst, prev []cand, workers int, extend func(cand, func(cand))) []cand {
+	if len(prev) == 0 {
+		return dst
+	}
+	if workers > len(prev) {
+		workers = len(prev)
+	}
+	bufs := make([][]cand, workers)
+	var wg sync.WaitGroup
+	chunk := (len(prev) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(prev) {
+			hi = len(prev)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := bufs[w]
+			emit := func(c cand) { buf = append(buf, c) }
+			for _, c := range prev[lo:hi] {
+				extend(c, emit)
+			}
+			bufs[w] = buf
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// pruneParallel splits the owner-sorted candidates at owner-group
+// boundaries and prunes each span with its own scratch table. Span order
+// is preserved, so the surviving slice equals the serial result.
+func (e *engine) pruneParallel(cands []cand, same, opposite [][]label.Entry) ([]cand, int64) {
+	if len(cands) == 0 {
+		return cands[:0], 0
+	}
+	workers := e.workerCount()
+	spans := splitByOwner(cands, workers)
+	type result struct {
+		kept   []cand
+		pruned int64
+	}
+	results := make([]result, len(spans))
+	var wg sync.WaitGroup
+	for i, sp := range spans {
+		wg.Add(1)
+		go func(i int, sp []cand) {
+			defer wg.Done()
+			ps := newPruneScratch(e.g.N())
+			kept, pruned := pruneRange(sp, same, opposite, ps, nil)
+			results[i] = result{kept, pruned}
+		}(i, sp)
+	}
+	wg.Wait()
+	kept := cands[:0]
+	var pruned int64
+	for _, r := range results {
+		kept = append(kept, r.kept...)
+		pruned += r.pruned
+	}
+	return kept, pruned
+}
+
+// splitByOwner partitions an owner-sorted slice into up to n contiguous
+// spans that never split an owner group.
+func splitByOwner(cands []cand, n int) [][]cand {
+	if n < 1 {
+		n = 1
+	}
+	var spans [][]cand
+	target := (len(cands) + n - 1) / n
+	start := 0
+	for start < len(cands) {
+		end := start + target
+		if end >= len(cands) {
+			end = len(cands)
+		} else {
+			for end < len(cands) && cands[end].owner == cands[end-1].owner {
+				end++
+			}
+		}
+		spans = append(spans, cands[start:end])
+		start = end
+	}
+	return spans
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestParallelEquivalence: the sharded build must produce exactly the
+// serial build's labels for every method and shape.
+func TestParallelEquivalence(t *testing.T) {
+	type shape struct {
+		directed bool
+		weighted bool
+	}
+	for _, sh := range []shape{{false, false}, {true, false}, {true, true}} {
+		g0, err := gen.ER(60, 180, sh.directed, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := g0
+		if sh.weighted {
+			g, err = gen.WithRandomWeights(g0, 5, 22)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, m := range []Method{Hybrid, Doubling, Stepping} {
+			serial, _, err := Build(g, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par, _, err := Build(g, Options{Method: m, Parallelism: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !serial.Equal(par) {
+					t.Fatalf("directed=%v weighted=%v method=%v workers=%d: parallel build differs",
+						sh.directed, sh.weighted, m, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelScaleFree checks a larger graph with stats parity.
+func TestParallelScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(900, 4, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, st1, err := Build(g, Options{Method: Hybrid, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st2, err := Build(g, Options{Method: Hybrid, CollectStats: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par) {
+		t.Fatal("parallel scale-free build differs")
+	}
+	if st1.Iterations != st2.Iterations || st1.TotalCandidates != st2.TotalCandidates || st1.TotalPruned != st2.TotalPruned {
+		t.Errorf("stats differ: serial {it=%d c=%d p=%d} parallel {it=%d c=%d p=%d}",
+			st1.Iterations, st1.TotalCandidates, st1.TotalPruned,
+			st2.Iterations, st2.TotalCandidates, st2.TotalPruned)
+	}
+}
+
+// TestSplitByOwner validates the span partitioner's invariants.
+func TestSplitByOwner(t *testing.T) {
+	cands := []cand{{1, 0, 1}, {1, 2, 1}, {1, 3, 1}, {2, 0, 1}, {5, 1, 1}, {5, 2, 1}, {9, 0, 1}}
+	for workers := 1; workers <= 8; workers++ {
+		spans := splitByOwner(cands, workers)
+		total := 0
+		for i, sp := range spans {
+			if len(sp) == 0 {
+				t.Fatalf("workers=%d: empty span %d", workers, i)
+			}
+			total += len(sp)
+			if i > 0 {
+				prev := spans[i-1]
+				if prev[len(prev)-1].owner == sp[0].owner {
+					t.Fatalf("workers=%d: owner %d split across spans", workers, sp[0].owner)
+				}
+			}
+		}
+		if total != len(cands) {
+			t.Fatalf("workers=%d: spans cover %d of %d", workers, total, len(cands))
+		}
+	}
+	if spans := splitByOwner(nil, 4); len(spans) != 0 {
+		t.Errorf("empty input produced spans: %v", spans)
+	}
+}

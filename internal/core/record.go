@@ -1,0 +1,5 @@
+package core
+
+// recordBytes is the external-memory record size: a label record is
+// (owner int32, pivot int32, dist uint32) encoded little-endian.
+const recordBytes = 12

@@ -1,0 +1,393 @@
+// Package diskidx stores a finished 2-hop index on disk and answers
+// queries by reading only the two label blocks a query needs, keeping the
+// per-vertex offset table in memory. This is the query path behind the
+// paper's "Disk query time" column (Table 6): the index never has to be
+// resident, so graphs whose labels exceed RAM remain queryable.
+//
+// Reads are counted in blocks of BlockBytes so benchmarks can report the
+// I/O cost alongside wall-clock time, and an optional LRU label cache
+// models the effect of a small query-time buffer pool.
+package diskidx
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+const (
+	magic = "HDDX"
+	// entryBytes is the wide encoding: pivot uint32 + dist uint32. When
+	// every distance fits in one byte the writer switches to the
+	// paper's compact encoding (pivot uint32 + dist uint8).
+	entryBytes        = 8
+	compactEntryBytes = 5
+)
+
+// Write serializes x into the disk-index format at path.
+func Write(path string, x *label.Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeTo(f, x); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+func writeTo(w io.Writer, x *label.Index) error {
+	var hdr [10]byte
+	copy(hdr[:4], magic)
+	hdr[4] = 1
+	flags := byte(0)
+	if x.Directed {
+		flags |= 1
+	}
+	if x.Weighted {
+		flags |= 2
+	}
+	if x.Perm != nil {
+		flags |= 4
+	}
+	compact := fitsCompact(x)
+	if compact {
+		flags |= 8
+	}
+	hdr[5] = flags
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(x.N))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var b4 [4]byte
+	if x.Perm != nil {
+		for _, p := range x.Perm {
+			binary.LittleEndian.PutUint32(b4[:], uint32(p))
+			if _, err := w.Write(b4[:]); err != nil {
+				return err
+			}
+		}
+	}
+	width := uint64(entryBytes)
+	if compact {
+		width = compactEntryBytes
+	}
+	writeOffsets := func(lists [][]label.Entry) error {
+		var off uint64
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], 0)
+		if _, err := w.Write(b8[:]); err != nil {
+			return err
+		}
+		for _, l := range lists {
+			off += uint64(len(l)) * width
+			binary.LittleEndian.PutUint64(b8[:], off)
+			if _, err := w.Write(b8[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeEntries := func(lists [][]label.Entry) error {
+		var b8 [8]byte
+		for _, l := range lists {
+			for _, e := range l {
+				binary.LittleEndian.PutUint32(b8[:4], uint32(e.Pivot))
+				if compact {
+					b8[4] = byte(e.Dist)
+					if _, err := w.Write(b8[:compactEntryBytes]); err != nil {
+						return err
+					}
+					continue
+				}
+				binary.LittleEndian.PutUint32(b8[4:], e.Dist)
+				if _, err := w.Write(b8[:]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeOffsets(x.Out); err != nil {
+		return err
+	}
+	if x.Directed {
+		if err := writeOffsets(x.In); err != nil {
+			return err
+		}
+	}
+	if err := writeEntries(x.Out); err != nil {
+		return err
+	}
+	if x.Directed {
+		return writeEntries(x.In)
+	}
+	return nil
+}
+
+// Options tunes the reader.
+type Options struct {
+	// BlockBytes is the I/O accounting granularity (default 4096).
+	BlockBytes int
+	// CacheLabels is the number of label lists kept in an LRU cache
+	// (0 disables caching).
+	CacheLabels int
+}
+
+// fitsCompact reports whether every stored distance fits in a byte.
+func fitsCompact(x *label.Index) bool {
+	check := func(lists [][]label.Entry) bool {
+		for _, l := range lists {
+			for _, e := range l {
+				if e.Dist > 254 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !check(x.Out) {
+		return false
+	}
+	if x.Directed {
+		return check(x.In)
+	}
+	return true
+}
+
+// DiskIndex answers distance queries from the on-disk format.
+type DiskIndex struct {
+	f        *os.File
+	directed bool
+	weighted bool
+	compact  bool
+	n        int32
+	perm     []int32
+	outOff   []uint64
+	inOff    []uint64
+	outBase  int64
+	inBase   int64
+	opt      Options
+
+	ios   int64
+	cache *lruCache
+}
+
+// Open maps the index at path for querying. The offset tables (8 bytes
+// per vertex per side) are loaded into memory; label entries stay on
+// disk.
+func Open(path string, opt Options) (*DiskIndex, error) {
+	if opt.BlockBytes <= 0 {
+		opt.BlockBytes = 4096
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiskIndex{f: f, opt: opt}
+	if err := d.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opt.CacheLabels > 0 {
+		d.cache = newLRU(opt.CacheLabels)
+	}
+	return d, nil
+}
+
+func (d *DiskIndex) readHeader() error {
+	var hdr [10]byte
+	if _, err := io.ReadFull(d.f, hdr[:]); err != nil {
+		return err
+	}
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("diskidx: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != 1 {
+		return fmt.Errorf("diskidx: unsupported version %d", hdr[4])
+	}
+	flags := hdr[5]
+	d.directed = flags&1 != 0
+	d.weighted = flags&2 != 0
+	d.compact = flags&8 != 0
+	d.n = int32(binary.LittleEndian.Uint32(hdr[6:10]))
+	if d.n < 0 {
+		return fmt.Errorf("diskidx: corrupt vertex count")
+	}
+	pos := int64(10)
+	if flags&4 != 0 {
+		buf := make([]byte, 4*int64(d.n))
+		if _, err := io.ReadFull(d.f, buf); err != nil {
+			return err
+		}
+		d.perm = make([]int32, d.n)
+		for i := range d.perm {
+			d.perm[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		pos += int64(len(buf))
+	}
+	readOffsets := func() ([]uint64, error) {
+		buf := make([]byte, 8*(int64(d.n)+1))
+		if _, err := io.ReadFull(d.f, buf); err != nil {
+			return nil, err
+		}
+		pos += int64(len(buf))
+		offs := make([]uint64, d.n+1)
+		for i := range offs {
+			offs[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		return offs, nil
+	}
+	var err error
+	if d.outOff, err = readOffsets(); err != nil {
+		return err
+	}
+	if d.directed {
+		if d.inOff, err = readOffsets(); err != nil {
+			return err
+		}
+	} else {
+		d.inOff = d.outOff
+	}
+	d.outBase = pos
+	d.inBase = pos + int64(d.outOff[d.n])
+	if !d.directed {
+		d.inBase = d.outBase
+	}
+	return nil
+}
+
+// N returns the vertex count.
+func (d *DiskIndex) N() int32 { return d.n }
+
+// Directed reports the indexed graph's directedness.
+func (d *DiskIndex) Directed() bool { return d.directed }
+
+// IOs returns the number of block reads performed so far.
+func (d *DiskIndex) IOs() int64 { return d.ios }
+
+// ResetIOs zeroes the I/O counter.
+func (d *DiskIndex) ResetIOs() { d.ios = 0 }
+
+// Close releases the file handle.
+func (d *DiskIndex) Close() error { return d.f.Close() }
+
+// loadLabel fetches one label list from disk (or cache).
+func (d *DiskIndex) loadLabel(out bool, v int32) ([]label.Entry, error) {
+	key := int64(v) << 1
+	if out {
+		key |= 1
+	}
+	if d.cache != nil {
+		if l, ok := d.cache.get(key); ok {
+			return l, nil
+		}
+	}
+	offs := d.inOff
+	base := d.inBase
+	if out {
+		offs = d.outOff
+		base = d.outBase
+	}
+	start := base + int64(offs[v])
+	length := int64(offs[v+1] - offs[v])
+	if length == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, length)
+	if _, err := d.f.ReadAt(buf, start); err != nil {
+		return nil, err
+	}
+	// Block-granular accounting: how many BlockBytes-sized blocks does
+	// the byte range [start, start+length) touch?
+	bb := int64(d.opt.BlockBytes)
+	firstBlock := start / bb
+	lastBlock := (start + length - 1) / bb
+	d.ios += lastBlock - firstBlock + 1
+
+	width := entryBytes
+	if d.compact {
+		width = compactEntryBytes
+	}
+	l := make([]label.Entry, int(length)/width)
+	for i := range l {
+		l[i].Pivot = int32(binary.LittleEndian.Uint32(buf[i*width:]))
+		if d.compact {
+			l[i].Dist = uint32(buf[i*width+4])
+		} else {
+			l[i].Dist = binary.LittleEndian.Uint32(buf[i*width+4:])
+		}
+	}
+	if d.cache != nil {
+		d.cache.put(key, l)
+	}
+	return l, nil
+}
+
+// Distance answers a point-to-point query in original vertex ids.
+func (d *DiskIndex) Distance(s, t int32) (uint32, error) {
+	if s < 0 || t < 0 || s >= d.n || t >= d.n {
+		return graph.Infinity, nil
+	}
+	if d.perm != nil {
+		s, t = d.perm[s], d.perm[t]
+	}
+	if s == t {
+		return 0, nil
+	}
+	outS, err := d.loadLabel(true, s)
+	if err != nil {
+		return 0, err
+	}
+	inT, err := d.loadLabel(false, t)
+	if err != nil {
+		return 0, err
+	}
+	return label.MergeDistance(outS, inT, s, t), nil
+}
+
+// lruCache is a minimal LRU over label lists.
+type lruCache struct {
+	cap   int
+	ll    *list.List
+	items map[int64]*list.Element
+}
+
+type lruItem struct {
+	key int64
+	val []label.Entry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[int64]*list.Element)}
+}
+
+func (c *lruCache) get(key int64) ([]label.Entry, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruItem).val, true
+	}
+	return nil, false
+}
+
+func (c *lruCache) put(key int64, val []label.Entry) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).val = val
+		return
+	}
+	el := c.ll.PushFront(&lruItem{key, val})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}

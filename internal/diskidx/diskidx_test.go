@@ -1,0 +1,274 @@
+package diskidx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sp"
+)
+
+func buildAndWrite(t *testing.T, directed, weighted bool, seed int64) (string, *graph.Graph) {
+	t.Helper()
+	g0, err := gen.ER(60, 160, directed, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := g0
+	if weighted {
+		g, err = gen.WithRandomWeights(g0, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx")
+	if err := Write(path, x); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+func TestDiskQueriesMatchTruth(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for _, weighted := range []bool{false, true} {
+			path, g := buildAndWrite(t, directed, weighted, 3)
+			d, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := sp.AllPairs(g)
+			for s := int32(0); s < g.N(); s += 2 {
+				for u := int32(0); u < g.N(); u += 3 {
+					got, err := d.Distance(s, u)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != truth[s][u] {
+						t.Fatalf("directed=%v weighted=%v: disk dist(%d,%d) = %d, want %d",
+							directed, weighted, s, u, got, truth[s][u])
+					}
+				}
+			}
+			if d.IOs() == 0 {
+				t.Error("no I/Os recorded")
+			}
+			if err := d.Close(); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestDiskIOAccounting(t *testing.T) {
+	path, g := buildAndWrite(t, true, false, 7)
+	d, err := Open(path, Options{BlockBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.N() != g.N() || !d.Directed() {
+		t.Fatalf("header mismatch: n=%d directed=%v", d.N(), d.Directed())
+	}
+	if _, err := d.Distance(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	first := d.IOs()
+	if first == 0 {
+		t.Fatal("query performed no I/O")
+	}
+	d.ResetIOs()
+	if d.IOs() != 0 {
+		t.Error("reset failed")
+	}
+	// Self queries and out-of-range queries never touch the disk.
+	if dist, _ := d.Distance(4, 4); dist != 0 {
+		t.Error("self distance wrong")
+	}
+	if dist, _ := d.Distance(-1, 5); dist != graph.Infinity {
+		t.Error("out-of-range wrong")
+	}
+	if d.IOs() != 0 {
+		t.Error("trivial queries performed I/O")
+	}
+}
+
+func TestDiskCache(t *testing.T) {
+	path, _ := buildAndWrite(t, false, false, 9)
+	d, err := Open(path, Options{CacheLabels: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Distance(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	cold := d.IOs()
+	d.ResetIOs()
+	if _, err := d.Distance(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.IOs() != 0 {
+		t.Errorf("warm query did %d I/Os, want 0 (cold was %d)", d.IOs(), cold)
+	}
+	// Cached answers must equal uncached ones.
+	d2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for s := int32(0); s < d.N(); s += 5 {
+		for u := int32(0); u < d.N(); u += 7 {
+			a, _ := d.Distance(s, u)
+			b, _ := d2.Distance(s, u)
+			if a != b {
+				t.Fatalf("cache changed answer at (%d,%d): %d vs %d", s, u, a, b)
+			}
+		}
+	}
+}
+
+func TestDiskCacheEviction(t *testing.T) {
+	path, _ := buildAndWrite(t, false, false, 11)
+	d, err := Open(path, Options{CacheLabels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Touch more labels than the cache holds; answers must stay right.
+	want := map[[2]int32]uint32{}
+	for s := int32(0); s < 10; s++ {
+		for u := int32(10); u < 20; u++ {
+			got, err := d.Distance(s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]int32{s, u}] = got
+		}
+	}
+	for k, w := range want {
+		got, _ := d.Distance(k[0], k[1])
+		if got != w {
+			t.Fatalf("eviction changed answer at %v", k)
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad, Options{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Open(filepath.Join(dir, "missing"), Options{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEmptyIndexOnDisk(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	b.Grow(3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := core.Build(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx")
+	if err := Write(path, x); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if dist, _ := d.Distance(0, 2); dist != graph.Infinity {
+		t.Errorf("dist = %d", dist)
+	}
+}
+
+// TestCompactEncoding: unweighted indexes use the paper's 5-byte entry
+// encoding; large weighted distances fall back to the wide encoding.
+// Both must answer identically.
+func TestCompactEncoding(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(400, 4, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	pathCompact := filepath.Join(dir, "compact")
+	if err := Write(pathCompact, x); err != nil {
+		t.Fatal(err)
+	}
+	infoCompact, err := os.Stat(pathCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected size: header + offsets + 5 bytes/entry (+ perm).
+	wantEntries := x.Entries() * 5
+	if infoCompact.Size() < wantEntries || infoCompact.Size() > wantEntries+8*int64(g.N()+1)+4*int64(g.N())+16 {
+		t.Errorf("compact file size %d not in expected range around %d", infoCompact.Size(), wantEntries)
+	}
+	d, err := Open(pathCompact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for s := int32(0); s < g.N(); s += 17 {
+		for u := int32(0); u < g.N(); u += 23 {
+			got, err := d.Distance(s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := x.Distance(s, u); got != want {
+				t.Fatalf("compact dist(%d,%d) = %d, want %d", s, u, got, want)
+			}
+		}
+	}
+
+	// Heavy weights exceed one byte: wide fallback.
+	wg, err := gen.WithRandomWeights(g, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wx, _, err := core.Build(wg, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathWide := filepath.Join(dir, "wide")
+	if err := Write(pathWide, wx); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := Open(pathWide, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Close()
+	for s := int32(0); s < wg.N(); s += 31 {
+		for u := int32(0); u < wg.N(); u += 29 {
+			got, err := wd.Distance(s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := wx.Distance(s, u); got != want {
+				t.Fatalf("wide dist(%d,%d) = %d, want %d", s, u, got, want)
+			}
+		}
+	}
+}

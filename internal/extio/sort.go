@@ -1,0 +1,197 @@
+package extio
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// LessFunc orders records during external sorting.
+type LessFunc func(a, b Record) bool
+
+// SortFile externally sorts the record file at path in place: runs of at
+// most MemoryRecords records are sorted in memory and spilled, then
+// merged. Uses multi-pass merging when the run count exceeds the fan-in
+// the memory budget allows.
+func SortFile(path string, cfg Config, less LessFunc) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	runs, err := makeRuns(path, cfg, less)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}()
+	if len(runs) == 0 {
+		// Empty input: truncate output.
+		return WriteAll(path, cfg, nil)
+	}
+	fan := cfg.MemoryRecords/cfg.BlockRecords - 1
+	if fan < 2 {
+		fan = 2
+	}
+	pass := 0
+	for len(runs) > 1 {
+		var next []string
+		for i := 0; i < len(runs); i += fan {
+			j := i + fan
+			if j > len(runs) {
+				j = len(runs)
+			}
+			out := fmt.Sprintf("%s.merge.%d.%d", path, pass, i/fan)
+			if err := MergeFiles(runs[i:j], out, cfg, less); err != nil {
+				return err
+			}
+			for _, r := range runs[i:j] {
+				os.Remove(r)
+			}
+			next = append(next, out)
+		}
+		runs = next
+		pass++
+	}
+	if err := os.Rename(runs[0], path); err != nil {
+		return err
+	}
+	runs = nil
+	return nil
+}
+
+// makeRuns splits the input into sorted run files.
+func makeRuns(path string, cfg Config, less LessFunc) ([]string, error) {
+	r, err := NewReader(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var runs []string
+	buf := make([]Record, 0, cfg.MemoryRecords)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.Slice(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		run := fmt.Sprintf("%s.run.%d", path, len(runs))
+		if err := WriteAll(run, cfg, buf); err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, rec)
+		if len(buf) == cfg.MemoryRecords {
+			if err := flush(); err != nil {
+				return runs, err
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return runs, err
+	}
+	if err := flush(); err != nil {
+		return runs, err
+	}
+	return runs, nil
+}
+
+// mergeItem is a heap element for the k-way merge.
+type mergeItem struct {
+	rec Record
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	less  LessFunc
+}
+
+func (h mergeHeap) Len() int { return len(h.items) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h.less(h.items[i].rec, h.items[j].rec) {
+		return true
+	}
+	if h.less(h.items[j].rec, h.items[i].rec) {
+		return false
+	}
+	return h.items[i].src < h.items[j].src // deterministic tie-break
+}
+func (h mergeHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// MergeFiles k-way merges sorted inputs into out.
+func MergeFiles(inputs []string, out string, cfg Config, less LessFunc) error {
+	readers := make([]*Reader, len(inputs))
+	for i, p := range inputs {
+		r, err := NewReader(p, cfg)
+		if err != nil {
+			for _, rr := range readers[:i] {
+				rr.Close()
+			}
+			return err
+		}
+		readers[i] = r
+	}
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	w, err := NewWriter(out, cfg)
+	if err != nil {
+		return err
+	}
+	h := &mergeHeap{less: less}
+	for i, r := range readers {
+		if rec, ok := r.Next(); ok {
+			h.items = append(h.items, mergeItem{rec, i})
+		} else if err := r.Err(); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		if err := w.Append(it.rec); err != nil {
+			w.Close()
+			return err
+		}
+		if rec, ok := readers[it.src].Next(); ok {
+			heap.Push(h, mergeItem{rec, it.src})
+		} else if err := readers[it.src].Err(); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// TempPath returns a fresh file path inside cfg.Dir (or the OS temp dir).
+func TempPath(cfg Config, name string) string {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return filepath.Join(dir, name)
+}

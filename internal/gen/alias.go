@@ -1,0 +1,91 @@
+package gen
+
+import "math/rand"
+
+// Alias implements Vose's alias method for O(1) sampling from a discrete
+// distribution. It backs the Chung-Lu style generator, where millions of
+// draws from a power-law weight vector are needed.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights. The
+// rng parameter is unused during construction but kept in the signature so
+// call sites read naturally alongside Draw; it may be nil.
+func NewAlias(weights []float64, _ *rand.Rand) *Alias {
+	n := len(weights)
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	if n == 0 {
+		return a
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		// Degenerate: uniform.
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.alias[i] = int32(i)
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a
+}
+
+// Draw samples an index according to the weight distribution.
+func (a *Alias) Draw(rng *rand.Rand) int32 {
+	if len(a.prob) == 0 {
+		return 0
+	}
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return int32(i)
+	}
+	return a.alias[i]
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }

@@ -1,0 +1,274 @@
+// Package gen produces the synthetic graphs used throughout the
+// reproduction: the GLP (Generalized Linear Preference) model the paper
+// uses for its scalability study (Section 8), Barabasi-Albert preferential
+// attachment, a directed Chung-Lu power-law model used as a stand-in for
+// the paper's real directed datasets, Erdos-Renyi noise graphs, and small
+// deterministic families (stars, paths, grids) for tests and examples.
+//
+// All generators are deterministic for a fixed seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GLPParams configures the Generalized Linear Preference model of Bu and
+// Towsley (INFOCOM 2002), the generator the paper uses for syn1..syn6.
+type GLPParams struct {
+	N       int32   // target vertex count
+	Density float64 // target |E|/|V|
+	M0      int32   // initial clique-ish core size (paper: 10)
+	M       float64 // average edges added per step (paper: 1.13)
+	Beta    float64 // preference offset, < 1 (GLP paper: 0.6447)
+	Seed    int64
+}
+
+// DefaultGLP returns the paper's parameter choices for a graph with the
+// given size and density.
+func DefaultGLP(n int32, density float64, seed int64) GLPParams {
+	return GLPParams{N: n, Density: density, M0: 10, M: 1.13, Beta: 0.6447, Seed: seed}
+}
+
+// GLP generates an undirected unweighted scale-free graph. Each step adds,
+// with probability p, m new edges between existing vertices and, with
+// probability 1-p, a new vertex with m edges to existing vertices; in both
+// cases endpoints are chosen with probability proportional to degree-Beta.
+// p is derived from the density target: edges accumulate at rate M per
+// step while vertices accumulate at rate 1-p, so p = 1 - M/Density.
+func GLP(p GLPParams) (*graph.Graph, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("gen: GLP needs N >= 2, got %d", p.N)
+	}
+	if p.M0 < 2 {
+		p.M0 = 2
+	}
+	if p.M0 > p.N {
+		p.M0 = p.N
+	}
+	if p.M <= 0 {
+		p.M = 1.13
+	}
+	if p.Beta >= 1 {
+		return nil, fmt.Errorf("gen: GLP Beta must be < 1, got %v", p.Beta)
+	}
+	if p.Density < p.M {
+		// Low-density regime: shrink m instead of making p negative.
+		p.M = math.Max(1, p.Density)
+	}
+	probLink := 1 - p.M/p.Density
+	if probLink < 0 {
+		probLink = 0
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := graph.NewBuilder(false, false)
+	b.Grow(p.N)
+
+	deg := make([]int32, p.N)
+	// endpoints holds each vertex id once per incident edge endpoint, so a
+	// uniform draw is degree-proportional; rejection corrects for -Beta.
+	endpoints := make([]int32, 0, int(float64(p.N)*p.Density*2))
+	seen := make(map[int64]bool, int(float64(p.N)*p.Density))
+	distinct := 0
+	addEdge := func(u, v int32) {
+		if u == v {
+			return
+		}
+		a, z := u, v
+		if a > z {
+			a, z = z, a
+		}
+		key := int64(a)<<32 | int64(z)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		distinct++
+		b.AddEdge(u, v, 1)
+		deg[u]++
+		deg[v]++
+		endpoints = append(endpoints, u, v)
+	}
+	// Seed core: a ring over the first M0 vertices.
+	for i := int32(0); i < p.M0; i++ {
+		addEdge(i, (i+1)%p.M0)
+	}
+	next := p.M0
+
+	pick := func() int32 {
+		for {
+			v := endpoints[rng.Intn(len(endpoints))]
+			// Accept with probability (deg - Beta)/deg, yielding
+			// Pr(v) proportional to deg(v) - Beta.
+			if p.Beta <= 0 || rng.Float64() >= p.Beta/float64(deg[v]) {
+				return v
+			}
+		}
+	}
+	edgesPerStep := func() int {
+		m := int(p.M)
+		if rng.Float64() < p.M-float64(m) {
+			m++
+		}
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+
+	for next < p.N {
+		if rng.Float64() < probLink {
+			for i, m := 0, edgesPerStep(); i < m; i++ {
+				addEdge(pick(), pick())
+			}
+		} else {
+			v := next
+			next++
+			for i, m := 0, edgesPerStep(); i < m; i++ {
+				addEdge(v, pick())
+			}
+		}
+	}
+	// Top up edges to reach the density target now that every vertex
+	// exists (duplicate draws and the vertex-addition phase undershoot
+	// the target otherwise). The attempt cap guards against saturation.
+	target := int(float64(p.N) * p.Density)
+	maxAttempts := target * 20
+	for attempts := 0; distinct < target && attempts < maxAttempts; attempts++ {
+		addEdge(pick(), pick())
+	}
+	return b.Build()
+}
+
+// BAParams configures Barabasi-Albert preferential attachment.
+type BAParams struct {
+	N    int32
+	M    int32 // edges per new vertex
+	Seed int64
+}
+
+// BA generates an undirected unweighted Barabasi-Albert graph.
+func BA(p BAParams) (*graph.Graph, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("gen: BA needs N >= 2, got %d", p.N)
+	}
+	if p.M < 1 {
+		p.M = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := graph.NewBuilder(false, false)
+	b.Grow(p.N)
+	endpoints := make([]int32, 0, int(p.N)*int(p.M)*2)
+	core := p.M + 1
+	if core > p.N {
+		core = p.N
+	}
+	for i := int32(0); i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			b.AddEdge(i, j, 1)
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	for v := core; v < p.N; v++ {
+		for i := int32(0); i < p.M; i++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			b.AddEdge(v, u, 1)
+			endpoints = append(endpoints, v, u)
+		}
+	}
+	return b.Build()
+}
+
+// PowerLawParams configures the Chung-Lu style fixed-degree-distribution
+// model used as a synthetic proxy for the paper's real datasets.
+type PowerLawParams struct {
+	N        int32
+	Density  float64 // |E|/|V|
+	Alpha    float64 // degree exponent, typically 2.0..2.6
+	Directed bool
+	Seed     int64
+}
+
+// PowerLaw draws Density*N edges whose endpoints follow a rank-based
+// power-law weight w_i = (i+1)^(-1/(Alpha-1)). For directed graphs the in-
+// and out-roles use independently shuffled weight assignments so in- and
+// out-degree correlate only weakly, as in real web/social graphs.
+func PowerLaw(p PowerLawParams) (*graph.Graph, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("gen: PowerLaw needs N >= 2, got %d", p.N)
+	}
+	if p.Alpha <= 1 {
+		return nil, fmt.Errorf("gen: PowerLaw Alpha must exceed 1, got %v", p.Alpha)
+	}
+	if p.Density <= 0 {
+		p.Density = 2
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	exp := -1.0 / (p.Alpha - 1)
+	weights := make([]float64, p.N)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), exp)
+	}
+	srcSampler := NewAlias(weights, rng)
+	dstSampler := srcSampler
+	srcPerm := rng.Perm(int(p.N))
+	dstPerm := srcPerm
+	if p.Directed {
+		dstPerm = rng.Perm(int(p.N))
+		dstSampler = NewAlias(weights, rng)
+	}
+	b := graph.NewBuilder(p.Directed, false)
+	b.Grow(p.N)
+	target := int(float64(p.N) * p.Density)
+	for attempts := 0; b.EdgeCount() < target && attempts < target*4; attempts++ {
+		u := int32(srcPerm[srcSampler.Draw(rng)])
+		v := int32(dstPerm[dstSampler.Draw(rng)])
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 1)
+	}
+	return b.Build()
+}
+
+// ER generates a uniform random graph with m edges.
+func ER(n int32, m int, directed bool, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ER needs N >= 2, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(directed, false)
+	b.Grow(n)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(int(n)))
+		v := int32(rng.Intn(int(n)))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 1)
+	}
+	return b.Build()
+}
+
+// WithRandomWeights re-draws g as a weighted graph with uniform weights in
+// [1, maxW]. Used to derive weighted proxies from unweighted generators.
+func WithRandomWeights(g *graph.Graph, maxW int32, seed int64) (*graph.Graph, error) {
+	if maxW < 1 {
+		maxW = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(g.Directed(), true)
+	b.Grow(g.N())
+	for u := int32(0); u < g.N(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !g.Directed() && u > v {
+				continue
+			}
+			b.AddEdge(u, v, 1+rng.Int31n(maxW))
+		}
+	}
+	return b.Build()
+}

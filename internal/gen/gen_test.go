@@ -1,0 +1,257 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGLPShape(t *testing.T) {
+	g, err := GLP(DefaultGLP(5000, 4, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	density := float64(g.EdgeCount()) / float64(g.N())
+	if density < 3 || density > 5 {
+		t.Errorf("density = %v, want approx 4", density)
+	}
+	// Scale-free signature: the max degree dwarfs the average and the
+	// fitted rank exponent is clearly negative.
+	st := graph.Collect(g, 0)
+	if float64(st.MaxDegree) < 10*st.AvgDegree {
+		t.Errorf("max degree %d vs avg %.1f: not heavy-tailed", st.MaxDegree, st.AvgDegree)
+	}
+	if st.RankExponent > -0.3 {
+		t.Errorf("rank exponent %v, want strongly negative", st.RankExponent)
+	}
+}
+
+func TestGLPDeterministic(t *testing.T) {
+	a, err := GLP(DefaultGLP(1000, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GLP(DefaultGLP(1000, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCount() != b.EdgeCount() || a.MaxDegree() != b.MaxDegree() {
+		t.Error("same seed produced different graphs")
+	}
+	c, err := GLP(DefaultGLP(1000, 3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCount() == c.EdgeCount() && a.MaxDegree() == c.MaxDegree() {
+		t.Log("different seeds produced identical summary (possible but suspicious)")
+	}
+}
+
+func TestGLPRejectsBadParams(t *testing.T) {
+	if _, err := GLP(GLPParams{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := GLP(GLPParams{N: 100, Density: 2, Beta: 1.5}); err == nil {
+		t.Error("Beta >= 1 accepted")
+	}
+}
+
+func TestGLPLowDensity(t *testing.T) {
+	g, err := GLP(DefaultGLP(500, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() < 400 {
+		t.Errorf("low-density GLP too sparse: %d edges", g.EdgeCount())
+	}
+}
+
+func TestBAShape(t *testing.T) {
+	g, err := BA(BAParams{N: 2000, M: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	st := graph.Collect(g, 0)
+	if float64(st.MaxDegree) < 5*st.AvgDegree {
+		t.Errorf("BA graph not heavy-tailed: max %d avg %.1f", st.MaxDegree, st.AvgDegree)
+	}
+}
+
+func TestPowerLawDirected(t *testing.T) {
+	g, err := PowerLaw(PowerLawParams{N: 3000, Density: 5, Alpha: 2.2, Directed: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("want directed")
+	}
+	got := float64(g.EdgeCount()) / float64(g.N())
+	if got < 3.5 || got > 5.5 {
+		t.Errorf("density = %v, want approx 5", got)
+	}
+	var maxIn, maxOut int32
+	for v := int32(0); v < g.N(); v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+		if d := g.OutDegree(v); d > maxOut {
+			maxOut = d
+		}
+	}
+	if maxIn < 20 || maxOut < 20 {
+		t.Errorf("hubs too small: maxIn=%d maxOut=%d", maxIn, maxOut)
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	if _, err := PowerLaw(PowerLawParams{N: 1, Alpha: 2}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := PowerLaw(PowerLawParams{N: 100, Alpha: 0.5}); err == nil {
+		t.Error("alpha <= 1 accepted")
+	}
+}
+
+func TestER(t *testing.T) {
+	g, err := ER(100, 300, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() == 0 || g.EdgeCount() > 300 {
+		t.Errorf("edges = %d", g.EdgeCount())
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	g, err := ER(50, 120, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := WithRandomWeights(g, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() {
+		t.Fatal("want weighted")
+	}
+	if wg.EdgeCount() != g.EdgeCount() {
+		t.Errorf("edge count changed: %d vs %d", wg.EdgeCount(), g.EdgeCount())
+	}
+	for u := int32(0); u < wg.N(); u++ {
+		ws := wg.OutWeights(u)
+		for _, w := range ws {
+			if w < 1 || w > 10 {
+				t.Fatalf("weight %d out of range", w)
+			}
+		}
+	}
+}
+
+func TestSpecialFamilies(t *testing.T) {
+	star, err := Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Degree(0) != 9 || star.EdgeCount() != 9 {
+		t.Errorf("star: %v", star)
+	}
+	path, err := Path(5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.OutDegree(4) != 0 || path.OutDegree(0) != 1 {
+		t.Errorf("directed path degrees wrong")
+	}
+	cyc, err := Cycle(6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.EdgeCount() != 6 {
+		t.Errorf("cycle edges = %d", cyc.EdgeCount())
+	}
+	k5, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k5.EdgeCount() != 10 {
+		t.Errorf("K5 edges = %d", k5.EdgeCount())
+	}
+	grid, err := GridRoad(4, 6, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.N() != 24 || !grid.Weighted() {
+		t.Errorf("grid: %v", grid)
+	}
+	if grid.EdgeCount() != int64(4*5+3*6) {
+		t.Errorf("grid edges = %d", grid.EdgeCount())
+	}
+	if _, err := Star(0); err == nil {
+		t.Error("Star(0) accepted")
+	}
+	if _, err := Cycle(2, false); err == nil {
+		t.Error("Cycle(2) accepted")
+	}
+	if _, err := GridRoad(0, 5, 1, 0); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestPaperFigure3Graph(t *testing.T) {
+	g := PaperFigure3()
+	if g.N() != 8 || !g.Directed() {
+		t.Fatalf("figure 3: %v", g)
+	}
+	if g.EdgeCount() != 13 {
+		t.Errorf("figure 3 edges = %d, want 13", g.EdgeCount())
+	}
+	// Vertex 0 must have the top degree as the paper ranks it first.
+	if g.Degree(0) < g.Degree(7) {
+		t.Error("vertex 0 should outrank vertex 7 by degree")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	weights := []float64{1, 2, 4, 8}
+	a := NewAlias(weights, rng)
+	if a.Len() != 4 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	counts := make([]int, 4)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	total := 15.0
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("outcome %d: frequency %.4f, want approx %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	empty := NewAlias(nil, rng)
+	if got := empty.Draw(rng); got != 0 {
+		t.Errorf("empty alias draw = %d", got)
+	}
+	zero := NewAlias([]float64{0, 0, 0}, rng)
+	seen := map[int32]bool{}
+	for i := 0; i < 100; i++ {
+		seen[zero.Draw(rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("zero-weight alias should fall back to uniform")
+	}
+}

@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Star returns the paper's Figure 2 family: vertex 0 is the hub connected
+// to all others.
+func Star(n int32) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: Star needs N >= 1")
+	}
+	b := graph.NewBuilder(false, false)
+	b.Grow(n)
+	for v := int32(1); v < n; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	return b.Build()
+}
+
+// Path returns a simple path 0-1-...-(n-1).
+func Path(n int32, directed bool) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: Path needs N >= 1")
+	}
+	b := graph.NewBuilder(directed, false)
+	b.Grow(n)
+	for v := int32(0); v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	return b.Build()
+}
+
+// Cycle returns a cycle over n vertices.
+func Cycle(n int32, directed bool) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Cycle needs N >= 3")
+	}
+	b := graph.NewBuilder(directed, false)
+	b.Grow(n)
+	for v := int32(0); v < n; v++ {
+		b.AddEdge(v, (v+1)%n, 1)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int32) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: Complete needs N >= 1")
+	}
+	b := graph.NewBuilder(false, false)
+	b.Grow(n)
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// GridRoad returns a rows x cols undirected grid with random positive
+// weights in [1, maxW], modelling the road networks of the paper's
+// Section 7 discussion of general (non-scale-free) graphs. maxW = 1 makes
+// the grid unweighted-equivalent but still typed as weighted.
+func GridRoad(rows, cols int32, maxW int32, seed int64) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: GridRoad needs positive dimensions")
+	}
+	if maxW < 1 {
+		maxW = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(false, true)
+	n := rows * cols
+	b.Grow(n)
+	id := func(r, c int32) int32 { return r*cols + c }
+	for r := int32(0); r < rows; r++ {
+		for c := int32(0); c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1), 1+rng.Int31n(maxW))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c), 1+rng.Int31n(maxW))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RoadGraph returns the paper's Figure 1 example graph GR (undirected):
+// a=0 is the hub of a simple road system.
+func RoadGraph() *graph.Graph {
+	b := graph.NewBuilder(false, false)
+	// Vertices: a=0, b=1, c=2, d=3, e=4 with edges a-b, b-c, a-d, a-e, e-d(2 hops? no)
+	// Figure 1 road graph: a central, edges a-b, a-d, a-e, b-c.
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(0, 4, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // static input cannot fail
+	}
+	return g
+}
+
+// PaperFigure3 returns the directed example graph of the paper's Figure
+// 3(a), with vertices already numbered by rank (0 = highest degree). Its
+// labeling under Hop-Doubling is worked out in the paper's Example 1 and
+// Figure 5, which the test suite reproduces entry for entry.
+func PaperFigure3() *graph.Graph {
+	b := graph.NewBuilder(true, false)
+	b.Grow(8)
+	// Edges reconstructed from the initialization entries visible in
+	// Figure 5 (one label entry per edge):
+	//   Lin(1)={(0,1)}  -> 0->1     Lout(1)={(0,1)} -> 1->0
+	//   Lout(2)={(0,1)} -> 2->0    Lin(3)={(2,1)}  -> 2->3
+	//   Lout(3)={(1,1)} -> 3->1    Lin(5)={(4,1)}  -> 4->5
+	//   Lout(5)={(3,1)} -> 5->3    Lin(6)={(0,1),(2,1)} -> 0->6, 2->6
+	//   Lin(7)={(3,1)}  -> 3->7    Lout(7)={(2,1)} -> 7->2
+	//   Lout(4)={(0,1),(1,1)} -> 4->0, 4->1
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(2, 0, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 1, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 3, 1)
+	b.AddEdge(0, 6, 1)
+	b.AddEdge(2, 6, 1)
+	b.AddEdge(3, 7, 1)
+	b.AddEdge(7, 2, 1)
+	b.AddEdge(4, 0, 1)
+	b.AddEdge(4, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // static input cannot fail
+	}
+	return g
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MaxWeight bounds edge weights so that any simple path's distance fits
+// comfortably in uint32: 2^24 * 2^7-hop paths stay below 2^31. Graphs
+// needing larger weights should rescale.
+const MaxWeight = 1 << 24
+
+// Builder accumulates edges and produces an immutable Graph. It
+// normalizes the input: self-loops are dropped, parallel edges are
+// collapsed keeping the minimum weight, and adjacency lists are sorted.
+type Builder struct {
+	directed bool
+	weighted bool
+	n        int32
+	us, vs   []int32
+	ws       []int32
+}
+
+// NewBuilder returns a Builder for a graph of the given kind.
+func NewBuilder(directed, weighted bool) *Builder {
+	return &Builder{directed: directed, weighted: weighted}
+}
+
+// Grow declares that vertices [0, n) exist even if some have no edges.
+func (b *Builder) Grow(n int32) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddEdge records an edge u->v (or an undirected edge {u,v}) with weight w.
+// For unweighted graphs w is ignored and treated as 1. Negative or zero
+// weights are rejected at Build time. Self-loops are silently dropped.
+func (b *Builder) AddEdge(u, v, w int32) {
+	if u == v {
+		return
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	if !b.weighted {
+		w = 1
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// EdgeCount returns the number of raw (pre-normalization) edges added.
+func (b *Builder) EdgeCount() int { return len(b.us) }
+
+// Build finalizes the graph. The Builder can be reused afterwards only by
+// adding more edges and calling Build again.
+func (b *Builder) Build() (*Graph, error) {
+	for i := range b.us {
+		if b.us[i] < 0 || b.vs[i] < 0 {
+			return nil, fmt.Errorf("graph: negative vertex id in edge (%d,%d)", b.us[i], b.vs[i])
+		}
+		if b.weighted && (b.ws[i] <= 0 || b.ws[i] > MaxWeight) {
+			return nil, fmt.Errorf("graph: weight %d on edge (%d,%d) outside (0, %d]", b.ws[i], b.us[i], b.vs[i], MaxWeight)
+		}
+	}
+	type arc struct {
+		u, v, w int32
+	}
+	arcs := make([]arc, 0, len(b.us)*2)
+	for i := range b.us {
+		arcs = append(arcs, arc{b.us[i], b.vs[i], b.ws[i]})
+		if !b.directed {
+			arcs = append(arcs, arc{b.vs[i], b.us[i], b.ws[i]})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		if arcs[i].v != arcs[j].v {
+			return arcs[i].v < arcs[j].v
+		}
+		return arcs[i].w < arcs[j].w
+	})
+	// Collapse parallel arcs keeping the minimum weight.
+	dedup := arcs[:0]
+	for _, a := range arcs {
+		if len(dedup) > 0 {
+			last := dedup[len(dedup)-1]
+			if last.u == a.u && last.v == a.v {
+				continue
+			}
+		}
+		dedup = append(dedup, a)
+	}
+	arcs = dedup
+
+	g := &Graph{
+		directed: b.directed,
+		weighted: b.weighted,
+		n:        b.n,
+		arcs:     int64(len(arcs)),
+	}
+	g.outOff = make([]int64, b.n+1)
+	g.outAdj = make([]int32, len(arcs))
+	if b.weighted {
+		g.outW = make([]int32, len(arcs))
+	}
+	for _, a := range arcs {
+		g.outOff[a.u+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+	}
+	pos := make([]int64, b.n)
+	copy(pos, g.outOff[:b.n])
+	for _, a := range arcs {
+		p := pos[a.u]
+		g.outAdj[p] = a.v
+		if g.outW != nil {
+			g.outW[p] = a.w
+		}
+		pos[a.u]++
+	}
+
+	if !b.directed {
+		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+		return g, nil
+	}
+
+	// Build the in-side by counting sort over arc targets.
+	g.inOff = make([]int64, b.n+1)
+	g.inAdj = make([]int32, len(arcs))
+	if b.weighted {
+		g.inW = make([]int32, len(arcs))
+	}
+	for _, a := range arcs {
+		g.inOff[a.v+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	copy(pos, g.inOff[:b.n])
+	for _, a := range arcs {
+		p := pos[a.v]
+		g.inAdj[p] = a.u
+		if g.inW != nil {
+			g.inW[p] = a.w
+		}
+		pos[a.v]++
+	}
+	// In-adjacency produced by a stable counting sort over (u,v)-sorted
+	// arcs is already sorted by neighbor id within each vertex.
+	return g, nil
+}
+
+// FromEdges is a convenience constructor building a graph directly from
+// parallel endpoint slices. weights may be nil for unweighted graphs.
+func FromEdges(directed bool, n int32, us, vs []int32, weights []int32) (*Graph, error) {
+	if len(us) != len(vs) {
+		return nil, errors.New("graph: endpoint slices differ in length")
+	}
+	if weights != nil && len(weights) != len(us) {
+		return nil, errors.New("graph: weight slice length mismatch")
+	}
+	b := NewBuilder(directed, weights != nil)
+	b.Grow(n)
+	for i := range us {
+		w := int32(1)
+		if weights != nil {
+			w = weights[i]
+		}
+		b.AddEdge(us[i], vs[i], w)
+	}
+	return b.Build()
+}

@@ -1,0 +1,151 @@
+package graph
+
+// Connectivity utilities. Scale-free datasets are usually disconnected
+// (the paper's SNAP/KONECT graphs all have satellite components), so
+// analysis tooling reports component structure before indexing: label
+// sizes and query semantics (Infinity across components) depend on it.
+
+// ComponentStats summarizes weak connectivity.
+type ComponentStats struct {
+	Components int
+	// Largest is the vertex count of the largest weakly connected
+	// component.
+	Largest int32
+	// LargestFrac is Largest / |V|.
+	LargestFrac float64
+}
+
+// WeakComponents labels every vertex with a component id (directed
+// graphs are treated as undirected) and returns the labels plus counts.
+func WeakComponents(g *Graph) ([]int32, ComponentStats) {
+	n := g.N()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stats ComponentStats
+	var queue []int32
+	var largest int32
+	next := int32(0)
+	for s := int32(0); s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		comp[s] = id
+		queue = queue[:0]
+		queue = append(queue, s)
+		var size int32 = 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.OutNeighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = id
+					size++
+					queue = append(queue, v)
+				}
+			}
+			if g.Directed() {
+				for _, v := range g.InNeighbors(u) {
+					if comp[v] < 0 {
+						comp[v] = id
+						size++
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	stats.Components = int(next)
+	stats.Largest = largest
+	if n > 0 {
+		stats.LargestFrac = float64(largest) / float64(n)
+	}
+	return comp, stats
+}
+
+// StronglyConnectedComponents computes SCC ids with Tarjan's algorithm
+// (iterative, so deep graphs cannot overflow the goroutine stack).
+// Undirected graphs return their weak components.
+func StronglyConnectedComponents(g *Graph) ([]int32, int) {
+	if !g.Directed() {
+		comp, st := WeakComponents(g)
+		return comp, st.Components
+	}
+	n := g.N()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int32
+	var nextIndex int32
+	var nextComp int32
+
+	type frame struct {
+		v   int32
+		adj int
+	}
+	var callStack []frame
+	for root := int32(0); root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack = callStack[:0]
+		callStack = append(callStack, frame{v: root})
+		index[root] = nextIndex
+		low[root] = nextIndex
+		nextIndex++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			adj := g.OutNeighbors(f.v)
+			if f.adj < len(adj) {
+				w := adj[f.adj]
+				f.adj++
+				if index[w] == unvisited {
+					index[w] = nextIndex
+					low[w] = nextIndex
+					nextIndex++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: close the SCC if v is a root.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nextComp
+					if w == v {
+						break
+					}
+				}
+				nextComp++
+			}
+		}
+	}
+	return comp, int(nextComp)
+}

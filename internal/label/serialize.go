@@ -1,0 +1,156 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary index format (little endian):
+//
+//	magic "HDIX" | version u8 | flags u8 | n u32
+//	flags: bit0 directed, bit1 weighted, bit2 perm present
+//	if perm: perm u32[n]
+//	out side: counts u32[n], then entries (pivot u32, dist u32)*
+//	if directed: in side in the same layout
+const idxMagic = "HDIX"
+
+// Write serializes the index.
+func (x *Index) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(idxMagic); err != nil {
+		return err
+	}
+	flags := byte(0)
+	if x.Directed {
+		flags |= 1
+	}
+	if x.Weighted {
+		flags |= 2
+	}
+	if x.Perm != nil {
+		flags |= 4
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(x.N))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	if x.Perm != nil {
+		for _, p := range x.Perm {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(p))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	writeSide := func(lists [][]Entry) error {
+		for _, l := range lists {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(len(l)))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+		for _, l := range lists {
+			for _, e := range l {
+				binary.LittleEndian.PutUint32(buf[:4], uint32(e.Pivot))
+				binary.LittleEndian.PutUint32(buf[4:8], e.Dist)
+				if _, err := bw.Write(buf[:8]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeSide(x.Out); err != nil {
+		return err
+	}
+	if x.Directed {
+		if err := writeSide(x.In); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes an index written by Write.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != idxMagic {
+		return nil, fmt.Errorf("label: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("label: unsupported version %d", version)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, err
+	}
+	n := int32(binary.LittleEndian.Uint32(buf[:4]))
+	if n < 0 {
+		return nil, fmt.Errorf("label: corrupt vertex count %d", n)
+	}
+	x := NewIndex(n, flags&1 != 0, flags&2 != 0)
+	if flags&4 != 0 {
+		perm := make([]int32, n)
+		for i := range perm {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return nil, err
+			}
+			perm[i] = int32(binary.LittleEndian.Uint32(buf[:4]))
+		}
+		x.SetPerm(perm)
+	}
+	readSide := func(lists [][]Entry) error {
+		counts := make([]uint32, n)
+		for i := range counts {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return err
+			}
+			counts[i] = binary.LittleEndian.Uint32(buf[:4])
+		}
+		for v := int32(0); v < n; v++ {
+			l := make([]Entry, counts[v])
+			for i := range l {
+				if _, err := io.ReadFull(br, buf[:8]); err != nil {
+					return err
+				}
+				l[i].Pivot = int32(binary.LittleEndian.Uint32(buf[:4]))
+				l[i].Dist = binary.LittleEndian.Uint32(buf[4:8])
+			}
+			lists[v] = l
+		}
+		return nil
+	}
+	if err := readSide(x.Out); err != nil {
+		return nil, err
+	}
+	if x.Directed {
+		if err := readSide(x.In); err != nil {
+			return nil, err
+		}
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

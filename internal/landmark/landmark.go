@@ -1,0 +1,111 @@
+// Package landmark implements the landmark (compact-routing style)
+// distance oracle the paper discusses as related work (Section 2.3,
+// citing Chen, Sommer, Teng, Wang): every vertex stores its distance to
+// and from a small set of high-degree landmarks, and a query returns the
+// best landmark detour. That estimate is an upper bound, not exact — the
+// limitation that motivates the paper's exact labeling — so the oracle
+// also offers an exact mode that refines the estimate with a bidirectional
+// search bounded by it.
+package landmark
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sp"
+)
+
+// Oracle answers distance queries via landmarks.
+type Oracle struct {
+	g *graph.Graph
+	// landmarks holds the chosen vertex ids.
+	landmarks []int32
+	// fromLM[i][v] = dist(landmark i, v); toLM[i][v] = dist(v, landmark i).
+	fromLM [][]uint32
+	toLM   [][]uint32
+	bi     *sp.BiSearcher
+}
+
+// Stats reports construction metrics.
+type Stats struct {
+	Duration  time.Duration
+	Landmarks int
+	SizeBytes int64
+}
+
+// Build selects k top-ranked vertices as landmarks (degree order, the
+// choice both the cited oracle and the paper's analysis motivate) and
+// runs 2k searches.
+func Build(g *graph.Graph, k int) (*Oracle, Stats, error) {
+	start := time.Now()
+	if k <= 0 {
+		k = 16
+	}
+	if int32(k) > g.N() {
+		k = int(g.N())
+	}
+	perm := order.Rank(g, order.ByDegree)
+	inv := order.Inverse(perm)
+	o := &Oracle{g: g, bi: sp.NewBiSearcher(g)}
+	for i := 0; i < k; i++ {
+		lm := inv[i]
+		o.landmarks = append(o.landmarks, lm)
+		from := make([]uint32, g.N())
+		to := make([]uint32, g.N())
+		if g.Weighted() {
+			sp.DijkstraFrom(g, lm, from)
+			sp.DijkstraFrom(g.Transpose(), lm, to)
+		} else {
+			sp.BFSFrom(g, lm, from)
+			sp.BFSFromReverse(g, lm, to)
+		}
+		o.fromLM = append(o.fromLM, from)
+		o.toLM = append(o.toLM, to)
+	}
+	st := Stats{
+		Duration:  time.Since(start),
+		Landmarks: len(o.landmarks),
+		SizeBytes: int64(len(o.landmarks)) * int64(g.N()) * 8,
+	}
+	return o, st, nil
+}
+
+// Estimate returns the landmark upper bound on dist(s, t): the shortest
+// detour through any landmark. It never underestimates; it is exact
+// whenever some landmark lies on a shortest s-t path.
+func (o *Oracle) Estimate(s, t int32) uint32 {
+	if s == t {
+		return 0
+	}
+	best := uint32(graph.Infinity)
+	for i := range o.landmarks {
+		ds := o.toLM[i][s]
+		dt := o.fromLM[i][t]
+		if ds == graph.Infinity || dt == graph.Infinity {
+			continue
+		}
+		if d := ds + dt; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Distance returns the exact distance by refining the landmark estimate
+// with a bidirectional search. The estimate serves as correctness
+// cross-check: a bounded search can never return more than the estimate.
+func (o *Oracle) Distance(s, t int32) uint32 {
+	est := o.Estimate(s, t)
+	exact := o.bi.Distance(s, t)
+	if exact > est {
+		// The estimate is an upper bound on a real path, so this would
+		// mean the search missed a path: a bug worth failing loudly on.
+		panic(fmt.Sprintf("landmark: bidirectional search %d exceeds upper bound %d for (%d,%d)", exact, est, s, t))
+	}
+	return exact
+}
+
+// Landmarks returns the chosen landmark ids.
+func (o *Oracle) Landmarks() []int32 { return o.landmarks }

@@ -1,0 +1,130 @@
+package landmark
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sp"
+)
+
+func TestEstimateNeverUnderestimates(t *testing.T) {
+	g, err := gen.ER(60, 160, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, st, err := Build(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Landmarks != 8 || st.SizeBytes == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	truth := sp.AllPairs(g)
+	exactHits := 0
+	total := 0
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			est := o.Estimate(s, u)
+			if est < truth[s][u] {
+				t.Fatalf("estimate(%d,%d) = %d < true %d", s, u, est, truth[s][u])
+			}
+			if truth[s][u] != graph.Infinity {
+				total++
+				if est == truth[s][u] {
+					exactHits++
+				}
+			}
+		}
+	}
+	if exactHits == 0 {
+		t.Error("estimate never exact; landmarks should hit some shortest paths")
+	}
+	_ = total
+}
+
+func TestDistanceExact(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(400, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _, err := Build(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]uint32, g.N())
+	for _, s := range []int32{0, 7, 200} {
+		sp.BFSFrom(g, s, truth)
+		for u := int32(0); u < g.N(); u += 7 {
+			if got := o.Distance(s, u); got != truth[u] {
+				t.Fatalf("dist(%d,%d) = %d, want %d", s, u, got, truth[u])
+			}
+		}
+	}
+}
+
+// TestEstimateQualityOnScaleFree quantifies the paper's Section 2.2
+// observation: on scale-free graphs the top hubs hit almost all long
+// shortest paths, so even the pure landmark estimate is exact for most
+// pairs — while on hub-free graphs (a path) it degrades badly.
+func TestEstimateQualityOnScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(800, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _, err := Build(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]uint32, g.N())
+	exact, total := 0, 0
+	for _, s := range []int32{3, 99, 500} {
+		sp.BFSFrom(g, s, truth)
+		for u := int32(0); u < g.N(); u += 3 {
+			if truth[u] == graph.Infinity || s == u {
+				continue
+			}
+			total++
+			if o.Estimate(s, u) == truth[u] {
+				exact++
+			}
+		}
+	}
+	if frac := float64(exact) / float64(total); frac < 0.8 {
+		t.Errorf("landmark estimate exact on only %.0f%% of scale-free pairs; expected hubs to dominate", frac*100)
+	}
+
+	path, err := gen.Path(200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, _, err := Build(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent vertices far from all landmarks: estimate must detour.
+	if est := po.Estimate(10, 11); est == 1 {
+		t.Skip("landmarks happened to sit next to the probe; fine")
+	} else if est < 1 {
+		t.Fatalf("estimate below true distance: %d", est)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	b := graph.NewBuilder(false, false)
+	b.Grow(3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _, err := Build(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Estimate(0, 2); d != graph.Infinity {
+		t.Errorf("edgeless estimate = %d", d)
+	}
+	if d := o.Distance(1, 1); d != 0 {
+		t.Errorf("self = %d", d)
+	}
+}

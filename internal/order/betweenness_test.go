@@ -1,0 +1,60 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSampledBetweennessPathCenter(t *testing.T) {
+	// On a path graph, middle vertices carry the most shortest paths.
+	g, err := gen.Path(21, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := SampledBetweenness(g, 21, 1)
+	perm := FromKeys(keys)
+	if perm[10] > 4 {
+		t.Errorf("center of a path ranked %d; want near the top", perm[10])
+	}
+	if perm[0] < 15 && perm[20] < 15 {
+		t.Errorf("both endpoints ranked high (%d, %d); want near the bottom", perm[0], perm[20])
+	}
+}
+
+func TestSampledBetweennessStarHub(t *testing.T) {
+	g, err := gen.Star(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := SampledBetweenness(g, 16, 2)
+	perm := FromKeys(keys)
+	if perm[0] != 0 {
+		t.Errorf("star hub ranked %d, want 0", perm[0])
+	}
+}
+
+func TestSampledBetweennessGridBeatsDegreeForLabels(t *testing.T) {
+	// The motivating use: on a grid, degree ranking is uninformative.
+	// Centrality keys should rank the grid center above a corner.
+	g, err := gen.GridRoad(9, 9, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := SampledBetweenness(g, 40, 3)
+	center := int32(4*9 + 4)
+	corner := int32(0)
+	if keys[center] <= keys[corner] {
+		t.Errorf("center key %d <= corner key %d", keys[center], keys[corner])
+	}
+}
+
+func TestSampledBetweennessDegenerate(t *testing.T) {
+	g, err := gen.Star(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := SampledBetweenness(g, 0, 1); len(keys) != 2 {
+		t.Errorf("keys = %v", keys)
+	}
+}

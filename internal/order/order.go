@@ -1,0 +1,105 @@
+// Package order assigns the total vertex ranking that drives label
+// generation (paper Section 2.1/3.1): higher-ranked vertices are expected
+// to hit more shortest paths and become pivots. Rank 0 is the highest.
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Strategy selects how vertices are ranked.
+type Strategy int
+
+const (
+	// ByDegree ranks by non-increasing Degree (paper default for
+	// undirected graphs).
+	ByDegree Strategy = iota
+	// ByDegreeProduct ranks by non-increasing in-degree*out-degree
+	// (paper default for directed graphs, Section 8).
+	ByDegreeProduct
+	// ByID keeps the input numbering (rank = vertex id). Useful for
+	// tests and for graphs pre-ordered by an external heuristic.
+	ByID
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case ByDegree:
+		return "degree"
+	case ByDegreeProduct:
+		return "degree-product"
+	case ByID:
+		return "id"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Rank returns perm with perm[v] = rank of v (0 = highest). Ties break by
+// original id so the ordering is a deterministic total order.
+func Rank(g *graph.Graph, s Strategy) []int32 {
+	n := g.N()
+	perm := make([]int32, n)
+	switch s {
+	case ByID:
+		for v := int32(0); v < n; v++ {
+			perm[v] = v
+		}
+		return perm
+	case ByDegree, ByDegreeProduct:
+		keys := make([]int64, n)
+		for v := int32(0); v < n; v++ {
+			if s == ByDegreeProduct && g.Directed() {
+				keys[v] = int64(g.InDegree(v)) * int64(g.OutDegree(v))
+			} else {
+				keys[v] = int64(g.Degree(v))
+			}
+		}
+		return FromKeys(keys)
+	default:
+		panic(fmt.Sprintf("order: unknown strategy %d", s))
+	}
+}
+
+// FromKeys builds a ranking from arbitrary scores: larger key = higher
+// rank (smaller rank number); ties break by smaller vertex id.
+func FromKeys(keys []int64) []int32 {
+	n := int32(len(keys))
+	byRank := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		byRank[v] = v
+	}
+	sort.SliceStable(byRank, func(i, j int) bool {
+		return keys[byRank[i]] > keys[byRank[j]]
+	})
+	perm := make([]int32, n)
+	for r, v := range byRank {
+		perm[v] = int32(r)
+	}
+	return perm
+}
+
+// Inverse returns inv with inv[rank] = vertex, the inverse permutation.
+func Inverse(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for v, r := range perm {
+		inv[r] = int32(v)
+	}
+	return inv
+}
+
+// Apply relabels g so that vertex ids equal ranks (id 0 = highest rank)
+// and returns the relabeled graph together with the permutation used
+// (perm[original] = new id).
+func Apply(g *graph.Graph, s Strategy) (*graph.Graph, []int32, error) {
+	perm := Rank(g, s)
+	rg, err := g.Relabel(perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rg, perm, nil
+}

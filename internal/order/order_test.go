@@ -1,0 +1,109 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRankByDegree(t *testing.T) {
+	g, err := gen.Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := Rank(g, ByDegree)
+	if perm[0] != 0 {
+		t.Errorf("hub rank = %d, want 0", perm[0])
+	}
+	// Leaves tie on degree 1; ties break by id.
+	for v := int32(1); v < 10; v++ {
+		if perm[v] != v {
+			t.Errorf("leaf %d rank = %d, want %d (tie by id)", v, perm[v], v)
+		}
+	}
+}
+
+func TestRankByDegreeProduct(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	// Vertex 2: in 2, out 2 (product 4). Vertex 0: out 3, in 0 (product 0).
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(2, 4, 1)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(0, 4, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := Rank(g, ByDegreeProduct)
+	if perm[2] != 0 {
+		t.Errorf("vertex 2 (product 4) rank = %d, want 0", perm[2])
+	}
+	// On an undirected graph, ByDegreeProduct falls back to degree.
+	star, err := gen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Rank(star, ByDegreeProduct); p[0] != 0 {
+		t.Errorf("undirected fallback broken: %v", p)
+	}
+}
+
+func TestRankByID(t *testing.T) {
+	g, err := gen.Path(6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := Rank(g, ByID)
+	for v := int32(0); v < 6; v++ {
+		if perm[v] != v {
+			t.Fatalf("ByID perm = %v", perm)
+		}
+	}
+}
+
+func TestFromKeysAndInverse(t *testing.T) {
+	keys := []int64{5, 100, 5, 7}
+	perm := FromKeys(keys)
+	// Vertex 1 has the top key, then 3, then 0 and 2 (tie by id).
+	want := []int32{2, 0, 3, 1}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+	inv := Inverse(perm)
+	for v, r := range perm {
+		if inv[r] != int32(v) {
+			t.Fatalf("inverse broken at %d", v)
+		}
+	}
+}
+
+func TestApplyRelabels(t *testing.T) {
+	g, err := gen.Star(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, perm, err := Apply(g, ByDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Degree(0) != 7 {
+		t.Errorf("rank-0 vertex degree = %d, want hub 7", rg.Degree(0))
+	}
+	if perm[0] != 0 {
+		t.Errorf("hub perm = %d", perm[0])
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if ByDegree.String() != "degree" || ByDegreeProduct.String() != "degree-product" || ByID.String() != "id" {
+		t.Error("Strategy.String() regressed")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy should still format")
+	}
+}

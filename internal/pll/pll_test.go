@@ -1,0 +1,127 @@
+package pll
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sp"
+)
+
+func checkAllPairs(t *testing.T, g *graph.Graph, x interface {
+	Distance(s, t int32) uint32
+}, context string) {
+	t.Helper()
+	truth := sp.AllPairs(g)
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			if got := x.Distance(s, u); got != truth[s][u] {
+				t.Fatalf("%s: dist(%d,%d) = %d, want %d", context, s, u, got, truth[s][u])
+			}
+		}
+	}
+}
+
+func TestPLLCorrectness(t *testing.T) {
+	type tc struct {
+		directed bool
+		weighted bool
+	}
+	for _, c := range []tc{{false, false}, {true, false}, {false, true}, {true, true}} {
+		for seed := int64(1); seed <= 4; seed++ {
+			g0, err := gen.ER(40, 110, c.directed, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := g0
+			if c.weighted {
+				g, err = gen.WithRandomWeights(g0, 8, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			x, _, err := Build(g, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := x.Validate(); err != nil {
+				t.Fatalf("invalid index: %v", err)
+			}
+			checkAllPairs(t, g, x, "pll")
+		}
+	}
+}
+
+func TestPLLScaleFree(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(600, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := Build(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries == 0 || st.Visits == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	truth := make([]uint32, g.N())
+	for _, s := range []int32{0, 5, 99, 311} {
+		sp.BFSFrom(g, s, truth)
+		for u := int32(0); u < g.N(); u += 7 {
+			if got := x.Distance(s, u); got != truth[u] {
+				t.Fatalf("dist(%d,%d) = %d, want %d", s, u, got, truth[u])
+			}
+		}
+	}
+	// Pruning effectiveness: visits must be far below |V|^2 on a
+	// scale-free graph with degree ordering.
+	if st.Visits > int64(g.N())*int64(g.N())/4 {
+		t.Errorf("pruned search visited %d vertices; pruning ineffective", st.Visits)
+	}
+}
+
+func TestPLLExplicitRank(t *testing.T) {
+	g, err := gen.Path(12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := Build(g, order.ByID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, g, x, "pll-byid")
+}
+
+func TestPLLDegenerate(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	b.Grow(4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := Build(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 {
+		t.Errorf("edgeless graph produced %d entries", st.Entries)
+	}
+	if d := x.Distance(0, 3); d != graph.Infinity {
+		t.Errorf("dist = %d, want Infinity", d)
+	}
+}
+
+func TestPLLStarIsMinimal(t *testing.T) {
+	g, err := gen.Star(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := Build(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Entries(); got != 29 {
+		t.Errorf("star entries = %d, want 29", got)
+	}
+}

@@ -1,0 +1,211 @@
+package sp
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// BiSearcher answers point-to-point distance queries with bidirectional
+// BFS (unweighted) or bidirectional Dijkstra (weighted). It is the
+// index-free BIDIJ baseline from the paper's Table 6. A BiSearcher is
+// reusable across queries (scratch state is version-stamped, not cleared)
+// but not safe for concurrent use.
+type BiSearcher struct {
+	g     *graph.Graph
+	distF []uint32
+	distB []uint32
+	verF  []uint32
+	verB  []uint32
+	ver   uint32
+	qF    []int32 // BFS queues
+	qB    []int32
+}
+
+// NewBiSearcher allocates a searcher for g.
+func NewBiSearcher(g *graph.Graph) *BiSearcher {
+	n := g.N()
+	return &BiSearcher{
+		g:     g,
+		distF: make([]uint32, n),
+		distB: make([]uint32, n),
+		verF:  make([]uint32, n),
+		verB:  make([]uint32, n),
+	}
+}
+
+// Distance returns the exact distance from s to t.
+func (b *BiSearcher) Distance(s, t int32) uint32 {
+	if s == t {
+		return 0
+	}
+	if b.g.Weighted() {
+		return b.biDijkstra(s, t)
+	}
+	return b.biBFS(s, t)
+}
+
+func (b *BiSearcher) setF(v int32, d uint32) {
+	b.distF[v] = d
+	b.verF[v] = b.ver
+}
+
+func (b *BiSearcher) setB(v int32, d uint32) {
+	b.distB[v] = d
+	b.verB[v] = b.ver
+}
+
+func (b *BiSearcher) getF(v int32) (uint32, bool) {
+	if b.verF[v] == b.ver {
+		return b.distF[v], true
+	}
+	return graph.Infinity, false
+}
+
+func (b *BiSearcher) getB(v int32) (uint32, bool) {
+	if b.verB[v] == b.ver {
+		return b.distB[v], true
+	}
+	return graph.Infinity, false
+}
+
+// biBFS alternates level expansions from both ends, preferring the side
+// with the smaller frontier, and stops once the combined level depth can
+// no longer improve the best meeting distance.
+func (b *BiSearcher) biBFS(s, t int32) uint32 {
+	b.ver++
+	b.qF = b.qF[:0]
+	b.qB = b.qB[:0]
+	b.setF(s, 0)
+	b.setB(t, 0)
+	b.qF = append(b.qF, s)
+	b.qB = append(b.qB, t)
+	frontF, frontB := b.qF, b.qB
+	levelF, levelB := uint32(0), uint32(0)
+	best := uint32(graph.Infinity)
+
+	expand := func(front []int32, level uint32, forward bool) []int32 {
+		var next []int32
+		for _, u := range front {
+			var adj []int32
+			if forward {
+				adj = b.g.OutNeighbors(u)
+			} else {
+				adj = b.g.InNeighbors(u)
+			}
+			for _, v := range adj {
+				if forward {
+					if _, ok := b.getF(v); ok {
+						continue
+					}
+					b.setF(v, level+1)
+					if db, ok := b.getB(v); ok {
+						if d := level + 1 + db; d < best {
+							best = d
+						}
+					}
+				} else {
+					if _, ok := b.getB(v); ok {
+						continue
+					}
+					b.setB(v, level+1)
+					if df, ok := b.getF(v); ok {
+						if d := level + 1 + df; d < best {
+							best = d
+						}
+					}
+				}
+				next = append(next, v)
+			}
+		}
+		return next
+	}
+
+	for len(frontF) > 0 && len(frontB) > 0 {
+		if levelF+levelB+1 > best {
+			break
+		}
+		if len(frontF) <= len(frontB) {
+			frontF = expand(frontF, levelF, true)
+			levelF++
+		} else {
+			frontB = expand(frontB, levelB, false)
+			levelB++
+		}
+	}
+	return best
+}
+
+// biDijkstra runs Dijkstra from both ends and stops when the sum of the
+// two frontier minima reaches the best meeting distance.
+func (b *BiSearcher) biDijkstra(s, t int32) uint32 {
+	b.ver++
+	b.setF(s, 0)
+	b.setB(t, 0)
+	qf := pq{{s, 0}}
+	qb := pq{{t, 0}}
+	best := uint32(graph.Infinity)
+	for qf.Len() > 0 || qb.Len() > 0 {
+		var minF, minB uint32 = graph.Infinity, graph.Infinity
+		if qf.Len() > 0 {
+			minF = qf[0].d
+		}
+		if qb.Len() > 0 {
+			minB = qb[0].d
+		}
+		if minF == graph.Infinity && minB == graph.Infinity {
+			break
+		}
+		if best != graph.Infinity && (minF == graph.Infinity || minB == graph.Infinity || uint64(minF)+uint64(minB) >= uint64(best)) {
+			break
+		}
+		if minF <= minB {
+			it := heap.Pop(&qf).(pqItem)
+			if d, ok := b.getF(it.v); ok && it.d > d {
+				continue
+			}
+			adj := b.g.OutNeighbors(it.v)
+			ws := b.g.OutWeights(it.v)
+			for i, v := range adj {
+				w := uint32(1)
+				if ws != nil {
+					w = uint32(ws[i])
+				}
+				nd := it.d + w
+				if d, ok := b.getF(v); !ok || nd < d {
+					b.setF(v, nd)
+					heap.Push(&qf, pqItem{v, nd})
+				}
+				if db, ok := b.getB(v); ok {
+					if tot := nd + db; tot < best {
+						best = tot
+					}
+				}
+			}
+		} else {
+			it := heap.Pop(&qb).(pqItem)
+			if d, ok := b.getB(it.v); ok && it.d > d {
+				continue
+			}
+			adj := b.g.InNeighbors(it.v)
+			ws := b.g.InWeights(it.v)
+			for i, v := range adj {
+				w := uint32(1)
+				if ws != nil {
+					w = uint32(ws[i])
+				}
+				nd := it.d + w
+				if d, ok := b.getB(v); !ok || nd < d {
+					b.setB(v, nd)
+					heap.Push(&qb, pqItem{v, nd})
+				}
+				if df, ok := b.getF(v); ok {
+					if tot := nd + df; tot < best {
+						best = tot
+					}
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+// Package sp provides reference shortest-path algorithms: BFS and Dijkstra
+// single-source searches used as ground truth in tests, and the
+// bidirectional variants that form the paper's BIDIJ online baseline
+// (Table 6). All distances are hop counts for unweighted graphs and weight
+// sums for weighted graphs, reported as uint32 with graph.Infinity for
+// unreachable pairs.
+package sp
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// BFSFrom computes unweighted distances from s over out-edges into dist,
+// which must have length g.N(). Unreached vertices get graph.Infinity.
+func BFSFrom(g *graph.Graph, s int32, dist []uint32) {
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	queue := make([]int32, 0, 64)
+	dist[s] = 0
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == graph.Infinity {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// BFSFromReverse is BFSFrom over in-edges (distances TO s).
+func BFSFromReverse(g *graph.Graph, s int32, dist []uint32) {
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	queue := make([]int32, 0, 64)
+	dist[s] = 0
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.InNeighbors(u) {
+			if dist[v] == graph.Infinity {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	v int32
+	d uint32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// DijkstraFrom computes weighted distances from s over out-edges into
+// dist (length g.N()). Works for unweighted graphs too (weight 1).
+func DijkstraFrom(g *graph.Graph, s int32, dist []uint32) {
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	dist[s] = 0
+	q := pq{{s, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		adj := g.OutNeighbors(it.v)
+		ws := g.OutWeights(it.v)
+		for i, v := range adj {
+			w := uint32(1)
+			if ws != nil {
+				w = uint32(ws[i])
+			}
+			if nd := it.d + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(&q, pqItem{v, nd})
+			}
+		}
+	}
+}
+
+// Distance computes a single exact distance with the plain unidirectional
+// search appropriate for the graph (BFS or Dijkstra). Used as ground truth.
+func Distance(g *graph.Graph, s, t int32) uint32 {
+	dist := make([]uint32, g.N())
+	if g.Weighted() {
+		DijkstraFrom(g, s, dist)
+	} else {
+		BFSFrom(g, s, dist)
+	}
+	return dist[t]
+}
+
+// AllPairs computes the full distance matrix with one search per source.
+// Only sensible for small test graphs.
+func AllPairs(g *graph.Graph) [][]uint32 {
+	n := g.N()
+	out := make([][]uint32, n)
+	for s := int32(0); s < n; s++ {
+		out[s] = make([]uint32, n)
+		if g.Weighted() {
+			DijkstraFrom(g, s, out[s])
+		} else {
+			BFSFrom(g, s, out[s])
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package sp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBFSPath(t *testing.T) {
+	g, err := gen.Path(6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]uint32, g.N())
+	BFSFrom(g, 0, dist)
+	for v := int32(0); v < 6; v++ {
+		if dist[v] != uint32(v) {
+			t.Errorf("dist[%d] = %d", v, dist[v])
+		}
+	}
+}
+
+func TestBFSDirectedUnreachable(t *testing.T) {
+	g, err := gen.Path(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]uint32, g.N())
+	BFSFrom(g, 3, dist)
+	if dist[0] != graph.Infinity {
+		t.Errorf("dist back along directed path = %d", dist[0])
+	}
+	BFSFromReverse(g, 3, dist)
+	if dist[0] != 3 {
+		t.Errorf("reverse dist = %d, want 3", dist[0])
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	b := graph.NewBuilder(true, true)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(2, 1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]uint32, g.N())
+	DijkstraFrom(g, 0, dist)
+	if dist[1] != 3 {
+		t.Errorf("dist(0,1) = %d, want 3 via the light detour", dist[1])
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnweighted(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(500, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := make([]uint32, g.N())
+	d2 := make([]uint32, g.N())
+	BFSFrom(g, 0, d1)
+	DijkstraFrom(g, 0, d2)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("mismatch at %d: %d vs %d", v, d1[v], d2[v])
+		}
+	}
+}
+
+func TestBiSearcherAgainstTruth(t *testing.T) {
+	type tc struct {
+		directed bool
+		weighted bool
+		seed     int64
+	}
+	cases := []tc{{false, false, 1}, {true, false, 2}, {false, true, 3}, {true, true, 4}}
+	for _, c := range cases {
+		g0, err := gen.ER(80, 200, c.directed, c.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := g0
+		if c.weighted {
+			g, err = gen.WithRandomWeights(g0, 7, c.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		truth := AllPairs(g)
+		bi := NewBiSearcher(g)
+		for s := int32(0); s < g.N(); s += 3 {
+			for u := int32(0); u < g.N(); u += 5 {
+				if got := bi.Distance(s, u); got != truth[s][u] {
+					t.Fatalf("directed=%v weighted=%v: bi(%d,%d) = %d, want %d",
+						c.directed, c.weighted, s, u, got, truth[s][u])
+				}
+			}
+		}
+	}
+}
+
+func TestBiSearcherReuse(t *testing.T) {
+	g, err := gen.Cycle(10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := NewBiSearcher(g)
+	// Repeated queries must not leak state between runs.
+	for i := 0; i < 50; i++ {
+		if d := bi.Distance(0, 5); d != 5 {
+			t.Fatalf("iteration %d: dist = %d, want 5", i, d)
+		}
+		if d := bi.Distance(1, 2); d != 1 {
+			t.Fatalf("iteration %d: dist = %d, want 1", i, d)
+		}
+	}
+}
+
+func TestBiSearcherSelfAndUnreachable(t *testing.T) {
+	b := graph.NewBuilder(true, false)
+	b.AddEdge(0, 1, 1)
+	b.Grow(3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := NewBiSearcher(g)
+	if d := bi.Distance(2, 2); d != 0 {
+		t.Errorf("self = %d", d)
+	}
+	if d := bi.Distance(1, 0); d != graph.Infinity {
+		t.Errorf("reverse arc = %d, want Infinity", d)
+	}
+	if d := bi.Distance(0, 2); d != graph.Infinity {
+		t.Errorf("isolated target = %d, want Infinity", d)
+	}
+}
+
+func TestDistanceHelper(t *testing.T) {
+	g, err := gen.GridRoad(3, 3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unweighted-equivalent grid (maxW=1): Manhattan distance.
+	if d := Distance(g, 0, 8); d != 4 {
+		t.Errorf("grid corner distance = %d, want 4", d)
+	}
+}
+
+func TestAllPairsSymmetryUndirected(t *testing.T) {
+	g, err := gen.ER(40, 100, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := AllPairs(g)
+	for s := int32(0); s < g.N(); s++ {
+		for u := int32(0); u < g.N(); u++ {
+			if d[s][u] != d[u][s] {
+				t.Fatalf("asymmetry at (%d,%d)", s, u)
+			}
+		}
+	}
+}

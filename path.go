@@ -1,0 +1,70 @@
+package hopdb
+
+import "fmt"
+
+// Path reconstructs one shortest path from s to t (inclusive of both
+// endpoints) using the index plus the original graph: from each vertex it
+// steps to any out-neighbor that lies on a shortest path, verified with
+// one distance query per neighbor. This is an extension beyond the paper,
+// which reports distances only; the cost is O(path length * average
+// degree) index queries.
+func (x *Index) Path(s, t int32) ([]int32, bool) {
+	if x.g == nil {
+		return nil, false
+	}
+	total, ok := x.Distance(s, t)
+	if !ok {
+		return nil, false
+	}
+	path := []int32{s}
+	cur := s
+	remaining := total
+	for cur != t {
+		adj := x.g.OutNeighbors(cur)
+		ws := x.g.OutWeights(cur)
+		next := int32(-1)
+		var nextRemaining uint32
+		for i, v := range adj {
+			w := uint32(1)
+			if ws != nil {
+				w = uint32(ws[i])
+			}
+			if w > remaining {
+				continue
+			}
+			dvt, okV := x.Distance(v, t)
+			if okV && w+dvt == remaining {
+				next = v
+				nextRemaining = dvt
+				break
+			}
+		}
+		if next < 0 {
+			// Cannot happen on a consistent index; fail loudly rather
+			// than looping.
+			panic(fmt.Sprintf("hopdb: path reconstruction stuck at %d (remaining %d)", cur, remaining))
+		}
+		path = append(path, next)
+		cur = next
+		remaining = nextRemaining
+	}
+	return path, true
+}
+
+// PathLength sums the edge weights along a path, validating that each hop
+// is an edge of the graph. Used by tests and example programs to check
+// reconstructed paths.
+func (x *Index) PathLength(path []int32) (uint32, error) {
+	if x.g == nil {
+		return 0, fmt.Errorf("hopdb: no graph attached")
+	}
+	var total uint32
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := x.g.EdgeWeight(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("hopdb: (%d,%d) is not an edge", path[i], path[i+1])
+		}
+		total += uint32(w)
+	}
+	return total, nil
+}

@@ -1,0 +1,57 @@
+package hopdb
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sp"
+)
+
+// TestSoakLargeScaleFree is the scaled-up confidence run: a 50k-vertex
+// GLP graph through the full public pipeline (hybrid build, bit-parallel
+// transform, disk round trip) with sampled ground-truth checks. Skipped
+// under -short.
+func TestSoakLargeScaleFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n = 50000
+	g, err := gen.GLP(gen.DefaultGLP(n, 6, 2024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, st, err := Build(g, Options{Method: Hybrid, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %v -> %d entries (%.1f/vertex) in %d iterations, %v",
+		g, st.Entries, idx.AvgLabel(), st.Iterations, st.Duration)
+
+	// Label sizes must stay in the near-linear regime the paper claims.
+	if idx.AvgLabel() > 500 {
+		t.Errorf("avg label %.1f: small hub dimension assumption violated", idx.AvgLabel())
+	}
+
+	truth := make([]uint32, g.N())
+	sources := []int32{0, 1, 77, 4999, 25000, 49999}
+	for _, s := range sources {
+		sp.BFSFrom(g, s, truth)
+		for u := int32(0); u < g.N(); u += 101 {
+			got, _ := idx.Distance(s, u)
+			if got != truth[u] {
+				t.Fatalf("dist(%d,%d) = %d, want %d", s, u, got, truth[u])
+			}
+		}
+	}
+
+	if err := idx.EnableBitParallel(0); err != nil {
+		t.Fatal(err)
+	}
+	sp.BFSFrom(g, 123, truth)
+	for u := int32(0); u < g.N(); u += 211 {
+		got, _ := idx.Distance(123, u)
+		if got != truth[u] {
+			t.Fatalf("bit-parallel dist(123,%d) = %d, want %d", u, got, truth[u])
+		}
+	}
+}
