@@ -8,10 +8,13 @@ type QueryPair struct {
 }
 
 // DistanceBatch answers many queries, sharding them across workers
-// goroutines (<= 1 runs serially). The index is read-only during queries,
-// so this is safe; results[i] corresponds to pairs[i], with Infinity for
-// unreachable pairs. Throughput-oriented callers (batch analytics,
-// betweenness estimation) should prefer this over a Distance loop.
+// goroutines (<= 1 runs serially). Queries run over the immutable flat
+// CSR labels (or the bit-parallel index when enabled), which are
+// read-only during queries, so concurrent access is safe — including on
+// a memory-mapped index from LoadIndexFlat; results[i] corresponds to
+// pairs[i], with Infinity for unreachable pairs. Throughput-oriented
+// callers (batch analytics, betweenness estimation) should prefer this
+// over a Distance loop.
 func (x *Index) DistanceBatch(pairs []QueryPair, workers int) []uint32 {
 	results := make([]uint32, len(pairs))
 	if len(pairs) == 0 {

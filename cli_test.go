@@ -82,10 +82,11 @@ func TestCLIPipeline(t *testing.T) {
 		return string(out)
 	}
 	memOut := run("-idx", idxPath)
+	mmapOut := run("-idx", idxPath, "-mmap")
 	diskOut := run("-disk", diskPath)
 	extOut := run("-idx", extIdx)
-	if memOut != diskOut || memOut != extOut {
-		t.Errorf("query outputs differ:\nmem:\n%s\ndisk:\n%s\next:\n%s", memOut, diskOut, extOut)
+	if memOut != diskOut || memOut != extOut || memOut != mmapOut {
+		t.Errorf("query outputs differ:\nmem:\n%s\nmmap:\n%s\ndisk:\n%s\next:\n%s", memOut, mmapOut, diskOut, extOut)
 	}
 	if len(strings.Split(strings.TrimSpace(memOut), "\n")) != 3 {
 		t.Errorf("expected 3 answers, got:\n%s", memOut)

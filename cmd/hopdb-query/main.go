@@ -28,19 +28,33 @@ func main() {
 		diskPath = flag.String("disk", "", "disk-query index file")
 		qPath    = flag.String("q", "", "query file (default stdin)")
 		cache    = flag.Int("cache", 0, "disk label cache entries")
+		useMmap  = flag.Bool("mmap", false, "memory-map the -idx file (v2 flat format) instead of reading it into memory")
 	)
 	flag.Parse()
 	if (*idxPath == "") == (*diskPath == "") {
 		fmt.Fprintln(os.Stderr, "hopdb-query: exactly one of -idx/-disk is required")
 		os.Exit(2)
 	}
+	if *useMmap && *idxPath == "" {
+		fmt.Fprintln(os.Stderr, "hopdb-query: -mmap requires -idx")
+		os.Exit(2)
+	}
 	var query func(s, t int32) (uint32, error)
 	var diskIdx *hopdb.DiskIndex
 	if *idxPath != "" {
-		idx, err := hopdb.LoadIndex(*idxPath)
+		var (
+			idx *hopdb.Index
+			err error
+		)
+		if *useMmap {
+			idx, err = hopdb.LoadIndexFlat(*idxPath)
+		} else {
+			idx, err = hopdb.LoadIndex(*idxPath)
+		}
 		if err != nil {
 			fail(err)
 		}
+		defer idx.Close()
 		query = func(s, t int32) (uint32, error) {
 			d, _ := idx.Distance(s, t)
 			return d, nil

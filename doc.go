@@ -34,6 +34,16 @@
 // and reports block I/O counts. The external builder produces exactly the
 // same index as the in-memory one.
 //
+// # Label storage
+//
+// Queries are served from a flat CSR representation (label.FlatIndex):
+// one contiguous entries array per label side addressed by per-vertex
+// offsets, frozen from the mutable slice-of-slices form when construction
+// finishes. Index.Save writes that layout verbatim (the v2 format), so
+// hopdb.LoadIndex re-creates it from a single read with O(1) allocations
+// and hopdb.LoadIndexFlat memory-maps it without copying the payload at
+// all; legacy v1 files still load.
+//
 // # Beyond distances
 //
 // Index.Path reconstructs a shortest path (not just its length) by

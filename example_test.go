@@ -65,8 +65,11 @@ func ExampleIndex_Path() {
 	if err != nil {
 		panic(err)
 	}
-	path, ok := idx.Path(0, 2)
-	fmt.Println(path, ok)
+	path, err := idx.Path(0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(path)
 	// Output:
-	// [0 3 2] true
+	// [0 3 2]
 }

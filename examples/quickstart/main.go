@@ -44,7 +44,10 @@ func main() {
 			fmt.Printf("dist(%d, %d) = unreachable\n", q[0], q[1])
 			continue
 		}
-		path, _ := idx.Path(q[0], q[1])
+		path, err := idx.Path(q[0], q[1])
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("dist(%d, %d) = %d via %v\n", q[0], q[1], d, path)
 	}
 }

@@ -58,7 +58,10 @@ func main() {
 			fmt.Printf("trip %d -> %d: unreachable\n", trip[0], trip[1])
 			continue
 		}
-		path, _ := idxCenter.Path(trip[0], trip[1])
+		path, err := idxCenter.Path(trip[0], trip[1])
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("trip %d -> %d: cost %d over %d road segments\n",
 			trip[0], trip[1], d, len(path)-1)
 	}

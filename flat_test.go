@@ -1,0 +1,87 @@
+package hopdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestDistanceBatchRaceFlat hammers DistanceBatch with many workers over
+// the flat CSR index — including a memory-mapped one — so `go test -race`
+// verifies the query hot path is free of data races.
+func TestDistanceBatchRaceFlat(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(500, 4, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "race.idx")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := LoadIndexFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	var pairs []QueryPair
+	for s := int32(0); s < g.N(); s += 3 {
+		for u := int32(0); u < g.N(); u += 41 {
+			pairs = append(pairs, QueryPair{s, u})
+		}
+	}
+	want := idx.DistanceBatch(pairs, 1)
+	for _, x := range []*Index{idx, mapped} {
+		got := x.DistanceBatch(pairs, 8)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallel batch differs at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLoadIndexV1Compat checks that indexes saved in the legacy v1
+// entry-stream format still load and answer identically to the v2 flat
+// form.
+func TestLoadIndexV1Compat(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(300, 3, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.idx")
+	f, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Labels().Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int32(0); s < g.N(); s += 13 {
+		for u := int32(0); u < g.N(); u += 17 {
+			a, _ := idx.Distance(s, u)
+			b, _ := loaded.Distance(s, u)
+			if a != b {
+				t.Fatalf("v1-loaded index differs at (%d,%d): %d vs %d", s, u, a, b)
+			}
+		}
+	}
+}

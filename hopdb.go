@@ -2,7 +2,9 @@ package hopdb
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"sync"
 
 	"repro/internal/bitparallel"
 	"repro/internal/core"
@@ -110,11 +112,32 @@ type Options struct {
 // Stats reports what construction did; see core.BuildStats.
 type Stats = core.BuildStats
 
-// Index answers exact point-to-point distance queries.
+// Index answers exact point-to-point distance queries. Queries are served
+// from a flat CSR label representation (one contiguous entries array per
+// side); the slice-of-slices form is kept only as a read-only view for
+// analysis tooling.
 type Index struct {
-	labels *label.Index
-	g      *Graph             // retained for Path; may be nil after Load
-	bp     *bitparallel.Index // optional bit-parallel acceleration
+	flat *label.FlatIndex   // query-serving CSR labels
+	g    *Graph             // retained for Path; may be nil after Load
+	bp   *bitparallel.Index // optional bit-parallel acceleration
+
+	// labels is a lazily built read-only view aliasing flat's arrays,
+	// materialized only for tooling that wants the nested form; building
+	// it eagerly would cost N slice headers (and page in the whole
+	// offsets table of an mmap'd index) before the first query.
+	viewOnce sync.Once
+	labels   *label.Index
+}
+
+// newIndex wraps a frozen label set in the public facade.
+func newIndex(flat *label.FlatIndex, g *Graph) *Index {
+	return &Index{flat: flat, g: g}
+}
+
+// view lazily materializes the nested form.
+func (x *Index) view() *label.Index {
+	x.viewOnce.Do(func() { x.labels = x.flat.View() })
+	return x.labels
 }
 
 // Build constructs an index for g.
@@ -146,7 +169,7 @@ func Build(g *Graph, opt Options) (*Index, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return &Index{labels: x, g: g}, st, nil
+	return newIndex(label.Freeze(x), g), st, nil
 }
 
 // Distance returns the exact distance from s to t and whether t is
@@ -156,26 +179,31 @@ func (x *Index) Distance(s, t int32) (uint32, bool) {
 	if x.bp != nil {
 		d = x.bp.Distance(s, t)
 	} else {
-		d = x.labels.Distance(s, t)
+		d = x.flat.Distance(s, t)
 	}
 	return d, d != Infinity
 }
 
 // N returns the number of indexed vertices.
-func (x *Index) N() int32 { return x.labels.N }
+func (x *Index) N() int32 { return x.flat.N }
 
 // Entries returns the number of non-trivial label entries.
-func (x *Index) Entries() int64 { return x.labels.Entries() }
+func (x *Index) Entries() int64 { return x.flat.Entries() }
 
 // AvgLabel returns the average label entries per vertex.
-func (x *Index) AvgLabel() float64 { return x.labels.AvgLabel() }
+func (x *Index) AvgLabel() float64 { return x.flat.AvgLabel() }
 
 // SizeBytes returns the serialized label size in bytes.
-func (x *Index) SizeBytes() int64 { return x.labels.SizeBytes() }
+func (x *Index) SizeBytes() int64 { return x.flat.SizeBytes() }
 
 // Labels exposes the underlying label index for analysis tooling
-// (coverage statistics, serialization formats). Treat it as read-only.
-func (x *Index) Labels() *label.Index { return x.labels }
+// (coverage statistics, serialization formats). It is a read-only view
+// aliasing the flat arrays; mutating it corrupts the index.
+func (x *Index) Labels() *label.Index { return x.view() }
+
+// Flat exposes the CSR label representation serving queries. Treat it as
+// read-only.
+func (x *Index) Flat() *label.FlatIndex { return x.flat }
 
 // EnableBitParallel folds the top-ranked hub labels into bit-parallel
 // tuples (paper Section 6). Only undirected unweighted indexes qualify;
@@ -184,7 +212,7 @@ func (x *Index) EnableBitParallel(roots int) error {
 	if x.g == nil {
 		return fmt.Errorf("hopdb: bit-parallel transform needs the graph; unavailable on a loaded index")
 	}
-	bp, err := bitparallel.Transform(x.labels, x.g, bitparallel.Options{Roots: roots})
+	bp, err := bitparallel.Transform(x.view(), x.g, bitparallel.Options{Roots: roots})
 	if err != nil {
 		return err
 	}
@@ -192,13 +220,15 @@ func (x *Index) EnableBitParallel(roots int) error {
 	return nil
 }
 
-// Save writes the index to path in the binary label format.
+// Save writes the index to path in the v2 flat binary format, whose label
+// payload is the CSR arrays verbatim (loadable with LoadIndex or
+// memory-mapped with LoadIndexFlat).
 func (x *Index) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := x.labels.Write(f); err != nil {
+	if err := x.flat.Write(f); err != nil {
 		f.Close()
 		os.Remove(path)
 		return err
@@ -206,30 +236,76 @@ func (x *Index) Save(path string) error {
 	return f.Close()
 }
 
-// LoadIndex reads an index saved with Save. Path reconstruction and
-// bit-parallel transformation are unavailable until the graph is
-// re-attached with AttachGraph.
+// LoadIndex reads an index saved with Save. Both formats are accepted: a
+// v2 flat file is parsed in place from a single read (O(1) allocations for
+// the label payload), and a legacy v1 file is streamed entry-by-entry and
+// frozen. Path reconstruction and bit-parallel transformation are
+// unavailable until the graph is re-attached with AttachGraph.
 func LoadIndex(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("hopdb: reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if label.IsFlatImage(magic[:]) {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, st.Size())
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return nil, fmt.Errorf("hopdb: reading %s: %w", path, err)
+		}
+		flat, err := label.ParseFlat(buf)
+		if err != nil {
+			return nil, err
+		}
+		return newIndex(flat, nil), nil
+	}
+	// Legacy v1: stream from the file rather than slurping it, so a big
+	// index is only ever resident once (as labels, not also as raw
+	// bytes).
 	x, err := label.Read(f)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{labels: x}, nil
+	return newIndex(label.Freeze(x), nil), nil
 }
+
+// LoadIndexFlat memory-maps a v2 flat index file: the label payload is
+// never copied and loading allocates O(1) memory regardless of index
+// size. Opening scans the payload once sequentially to validate the label
+// invariants (a corrupt file fails here, not mid-query); after that the
+// OS keeps labels paged on demand. The returned index is read-only; call
+// Close to release the mapping.
+func LoadIndexFlat(path string) (*Index, error) {
+	flat, err := label.MmapFlat(path)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(flat, nil), nil
+}
+
+// Close releases resources held by a loaded index (the mmap backing a
+// LoadIndexFlat index). It is a no-op for built or heap-loaded indexes.
+func (x *Index) Close() error { return x.flat.Close() }
 
 // AttachGraph re-associates the original graph with a loaded index,
 // enabling Path and EnableBitParallel.
 func (x *Index) AttachGraph(g *Graph) { x.g = g }
 
 // SaveDiskIndex writes the index in the block-addressable on-disk format
-// answered by OpenDiskIndex.
+// answered by OpenDiskIndex. The cached nested view aliases the flat
+// arrays, so no label entries are copied.
 func (x *Index) SaveDiskIndex(path string) error {
-	return diskidx.Write(path, x.labels)
+	return diskidx.Write(path, x.view())
 }
 
 // DiskIndex answers queries directly from an on-disk index; see

@@ -1,6 +1,7 @@
 package hopdb
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -78,11 +79,14 @@ func TestPathReconstruction(t *testing.T) {
 		for s := int32(0); s < g.N(); s += 7 {
 			for u := int32(0); u < g.N(); u += 9 {
 				d, ok := idx.Distance(s, u)
-				path, okP := idx.Path(s, u)
-				if ok != okP {
-					t.Fatalf("reachability disagreement at (%d,%d)", s, u)
+				path, errP := idx.Path(s, u)
+				if ok != (errP == nil) {
+					t.Fatalf("reachability disagreement at (%d,%d): %v", s, u, errP)
 				}
 				if !ok {
+					if !errors.Is(errP, ErrUnreachable) {
+						t.Fatalf("unreachable (%d,%d) returned %v, want ErrUnreachable", s, u, errP)
+					}
 					continue
 				}
 				if path[0] != s || path[len(path)-1] != u {
@@ -127,12 +131,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// Path needs the graph back.
-	if _, ok := loaded.Path(0, 1); ok {
-		t.Error("Path without graph should fail")
+	if _, err := loaded.Path(0, 1); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("Path without graph returned %v, want ErrNoGraph", err)
 	}
 	loaded.AttachGraph(g)
-	if _, ok := loaded.Path(0, 1); !ok {
-		t.Error("Path after AttachGraph should work")
+	if _, err := loaded.Path(0, 1); err != nil {
+		t.Errorf("Path after AttachGraph failed: %v", err)
 	}
 }
 

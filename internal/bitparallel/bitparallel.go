@@ -41,16 +41,29 @@ type Tuple struct {
 	S0 uint64
 }
 
-// Index is a bit-parallel augmented 2-hop index.
+// Index is a bit-parallel augmented 2-hop index. The surviving normal
+// labels and the per-root tuples are both stored flat (CSR: one contiguous
+// array plus per-vertex offsets), matching the query-serving layout of
+// label.FlatIndex.
 type Index struct {
 	n     int32
 	perm  []int32
 	roots []int32 // rank ids; slice position = marker bit
-	// marker[v] bit i set means tuples[v] contains a tuple for root i,
-	// stored at position popcount(marker[v] & (1<<i - 1)).
+	// marker[v] bit i set means v's tuple run contains a tuple for root
+	// i, stored at position popcount(marker[v] & (1<<i - 1)).
 	marker []uint64
-	tuples [][]Tuple
-	normal [][]label.Entry
+	// tuples holds vertex v's run at tuples[tupleOff[v]:tupleOff[v+1]].
+	tupleOff []int64
+	tuples   []Tuple
+	// normal holds v's surviving label entries at
+	// normal[normalOff[v]:normalOff[v+1]], pivot-sorted.
+	normalOff []int64
+	normal    []label.Entry
+}
+
+// normalOf returns v's surviving normal label as a flat slice.
+func (x *Index) normalOf(v int32) []label.Entry {
+	return x.normal[x.normalOff[v]:x.normalOff[v+1]]
 }
 
 // ErrUnsupported is returned for directed or weighted inputs.
@@ -74,11 +87,11 @@ func Transform(base *label.Index, g *graph.Graph, opt Options) (*Index, error) {
 	}
 	n := base.N
 	x := &Index{
-		n:      n,
-		perm:   base.Perm,
-		marker: make([]uint64, n),
-		tuples: make([][]Tuple, n),
-		normal: make([][]label.Entry, n),
+		n:         n,
+		perm:      base.Perm,
+		marker:    make([]uint64, n),
+		tupleOff:  make([]int64, n+1),
+		normalOff: make([]int64, n+1),
 	}
 
 	// Choose roots in rank order; their Sr sets are disjoint and exclude
@@ -138,11 +151,14 @@ func Transform(base *label.Index, g *graph.Graph, opt Options) (*Index, error) {
 	}
 	scratch := make([]scratchTuple, len(x.roots))
 
+	// Vertices are processed in order, so each vertex's surviving normal
+	// entries and tuples land contiguously in the flat arrays.
 	for v := int32(0); v < n; v++ {
 		for i := range scratch {
 			scratch[i] = scratchTuple{}
 		}
-		var keep []label.Entry
+		x.normalOff[v] = int64(len(x.normal))
+		x.tupleOff[v] = int64(len(x.tuples))
 		for _, e := range base.Out[v] {
 			if ri := rootIdxOf[e.Pivot]; ri >= 0 {
 				s := &scratch[ri]
@@ -170,7 +186,7 @@ func Transform(base *label.Index, g *graph.Graph, opt Options) (*Index, error) {
 				}
 				continue
 			}
-			keep = append(keep, e)
+			x.normal = append(x.normal, e)
 		}
 		// Seed the self cases the label lists never store: a root knows
 		// itself at distance 0; an Sr member u has d_uu - d_ru = -1.
@@ -188,11 +204,10 @@ func Transform(base *label.Index, g *graph.Graph, opt Options) (*Index, error) {
 			}
 			s.sm1 |= 1 << memberBit[v]
 		}
-		x.normal[v] = keep
 		for i := range scratch {
 			if scratch[i].set {
 				x.marker[v] |= 1 << uint(i)
-				x.tuples[v] = append(x.tuples[v], Tuple{
+				x.tuples = append(x.tuples, Tuple{
 					Dist: scratch[i].dist,
 					SM1:  scratch[i].sm1,
 					S0:   scratch[i].s0,
@@ -200,6 +215,8 @@ func Transform(base *label.Index, g *graph.Graph, opt Options) (*Index, error) {
 			}
 		}
 	}
+	x.normalOff[n] = int64(len(x.normal))
+	x.tupleOff[n] = int64(len(x.tuples))
 	return x, nil
 }
 
@@ -214,12 +231,12 @@ func (x *Index) Distance(s, t int32) uint32 {
 	if s == t {
 		return 0
 	}
-	best := label.MergeDistance(x.normal[s], x.normal[t], s, t)
+	best := label.MergeDistance(x.normalOf(s), x.normalOf(t), s, t)
 	common := x.marker[s] & x.marker[t]
 	for m := common; m != 0; m &= m - 1 {
 		i := uint(bits.TrailingZeros64(m))
-		ts := x.tuples[s][bits.OnesCount64(x.marker[s]&((1<<i)-1))]
-		tt := x.tuples[t][bits.OnesCount64(x.marker[t]&((1<<i)-1))]
+		ts := x.tuples[x.tupleOff[s]+int64(bits.OnesCount64(x.marker[s]&((1<<i)-1)))]
+		tt := x.tuples[x.tupleOff[t]+int64(bits.OnesCount64(x.marker[t]&((1<<i)-1)))]
 		d := ts.Dist + tt.Dist
 		if ts.SM1&tt.SM1 != 0 {
 			d -= 2
@@ -237,22 +254,10 @@ func (x *Index) Distance(s, t int32) uint32 {
 func (x *Index) Roots() int { return len(x.roots) }
 
 // NormalEntries counts label entries remaining in the normal lists.
-func (x *Index) NormalEntries() int64 {
-	var total int64
-	for _, l := range x.normal {
-		total += int64(len(l))
-	}
-	return total
-}
+func (x *Index) NormalEntries() int64 { return int64(len(x.normal)) }
 
 // TupleCount counts bit-parallel tuples across all vertices.
-func (x *Index) TupleCount() int64 {
-	var total int64
-	for _, l := range x.tuples {
-		total += int64(len(l))
-	}
-	return total
-}
+func (x *Index) TupleCount() int64 { return int64(len(x.tuples)) }
 
 // SizeBytes estimates the serialized footprint: 8 bytes per normal entry
 // and 20 bytes per tuple (dist + two masks).

@@ -94,16 +94,26 @@ func (x *Index) DistanceRanked(s, t int32) uint32 {
 // MergeDistance evaluates a 2-hop query over raw label slices: the
 // out-label of s and the in-label of t, both pivot-sorted, with the
 // implicit trivial (s, 0) and (t, 0) entries accounted for. Shared by the
-// in-memory index, the disk index, and the bit-parallel normal labels.
+// in-memory flat and nested indexes, the disk index, and the bit-parallel
+// normal labels.
+//
+// It exploits the rank invariant every stored label obeys (pivots
+// strictly outrank their owner: pivot id < owner id): the lower-ranked
+// endpoint can never appear as a pivot in the higher-ranked endpoint's
+// list, so at most one trivial-pivot binary search is needed per query.
 func MergeDistance(outS, inT []Entry, s, t int32) uint32 {
 	best := uint32(graph.Infinity)
-	// Trivial pivot t: (t, d) in Lout(s) joined with implicit (t, 0).
-	if d, ok := Lookup(outS, t); ok && d < best {
-		best = d
-	}
-	// Trivial pivot s: implicit (s, 0) joined with (s, d) in Lin(t).
-	if d, ok := Lookup(inT, s); ok && d < best {
-		best = d
+	switch {
+	case t < s:
+		// Trivial pivot t: (t, d) in Lout(s) joined with implicit (t, 0).
+		if d, ok := Lookup(outS, t); ok {
+			best = d
+		}
+	case s < t:
+		// Trivial pivot s: implicit (s, 0) joined with (s, d) in Lin(t).
+		if d, ok := Lookup(inT, s); ok {
+			best = d
+		}
 	}
 	// Merge join over shared non-trivial pivots.
 	i, j := 0, 0
@@ -133,15 +143,24 @@ func (x *Index) MeetingPivot(s, t int32) (int32, uint32) {
 	if rs == rt {
 		return rs, 0
 	}
+	return MergePivot(x.Out[rs], x.In[rt], rs, rt)
+}
+
+// MergePivot is MergeDistance's pivot-reporting variant: it returns a
+// pivot realizing the minimum joined distance (or -1 when the lists share
+// none) along with that distance. It relies on the same rank invariant.
+func MergePivot(outS, inT []Entry, s, t int32) (int32, uint32) {
 	best := uint32(graph.Infinity)
 	pivot := int32(-1)
-	outS := x.Out[rs]
-	inT := x.In[rt]
-	if d, ok := Lookup(outS, rt); ok && d < best {
-		best, pivot = d, rt
-	}
-	if d, ok := Lookup(inT, rs); ok && d < best {
-		best, pivot = d, rs
+	switch {
+	case t < s:
+		if d, ok := Lookup(outS, t); ok {
+			best, pivot = d, t
+		}
+	case s < t:
+		if d, ok := Lookup(inT, s); ok {
+			best, pivot = d, s
+		}
 	}
 	i, j := 0, 0
 	for i < len(outS) && j < len(inT) {
@@ -162,11 +181,21 @@ func (x *Index) MeetingPivot(s, t int32) (int32, uint32) {
 	return pivot, best
 }
 
-// Lookup binary-searches a pivot-sorted entry list.
+// Lookup binary-searches a pivot-sorted entry list. The loop is written
+// out (rather than via sort.Search) to keep the query hot path free of
+// closure-call overhead.
 func Lookup(list []Entry, pivot int32) (uint32, bool) {
-	i := sort.Search(len(list), func(i int) bool { return list[i].Pivot >= pivot })
-	if i < len(list) && list[i].Pivot == pivot {
-		return list[i].Dist, true
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].Pivot < pivot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo].Pivot == pivot {
+		return list[lo].Dist, true
 	}
 	return graph.Infinity, false
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package label
+
+// MmapFlat degrades to a single-read load on platforms without a mmap
+// syscall wrapper; the result is still O(1) allocations for the payload.
+func MmapFlat(path string) (*FlatIndex, error) {
+	return LoadFlatFile(path)
+}
+
+// Close is a no-op on heap-backed indexes.
+func (f *FlatIndex) Close() error { return nil }

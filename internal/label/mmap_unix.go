@@ -1,0 +1,59 @@
+//go:build unix
+
+package label
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MmapFlat memory-maps a v2 flat index file read-only and returns an index
+// whose label arrays alias the mapping: loading is O(1) allocations and
+// O(1) copied bytes regardless of index size. Opening scans the payload
+// once sequentially to validate the label invariants (warming the page
+// cache); after that the OS keeps labels paged on demand. Call Close to
+// unmap.
+func MmapFlat(path string) (*FlatIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("label: flat image truncated (0 bytes)")
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("label: index file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("label: mmap %s: %w", path, err)
+	}
+	x, err := ParseFlat(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	x.mapped = data
+	return x, nil
+}
+
+// Close releases the backing mmap, if any. The index must not be queried
+// afterwards. Close is a no-op on heap-backed indexes.
+func (f *FlatIndex) Close() error {
+	if f.mapped == nil {
+		return nil
+	}
+	data := f.mapped
+	f.mapped = nil
+	f.OutOffsets, f.OutEntries = nil, nil
+	f.InOffsets, f.InEntries = nil, nil
+	f.Perm = nil
+	return syscall.Munmap(data)
+}

@@ -80,8 +80,26 @@ func (x *Index) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes an index written by Write.
+// Read deserializes an index written by Write. The header and per-vertex
+// counts are validated before any count-driven allocation: unknown flag
+// bits, counts that exceed the vertex's possible pivot set, and counts
+// that exceed the input size (when r is seekable, e.g. an *os.File or
+// bytes.Reader) all fail with a clear error instead of attempting a
+// corrupt multi-gigabyte allocation.
 func Read(r io.Reader) (*Index, error) {
+	// A truncated or corrupt file is caught early against the real input
+	// size whenever the reader can report one.
+	size := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if cur, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := s.Seek(0, io.SeekEnd); err == nil {
+				size = end - cur
+			}
+			if _, err := s.Seek(cur, io.SeekStart); err != nil {
+				return nil, err
+			}
+		}
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -101,6 +119,9 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if flags&^byte(7) != 0 {
+		return nil, fmt.Errorf("label: unknown flags %#x", flags)
+	}
 	var buf [8]byte
 	if _, err := io.ReadFull(br, buf[:4]); err != nil {
 		return nil, err
@@ -109,24 +130,46 @@ func Read(r io.Reader) (*Index, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("label: corrupt vertex count %d", n)
 	}
+	// Past the header every vertex contributes at least 4 bytes per side
+	// (its count), so n is bounded by the file size.
+	if size >= 0 && int64(n) > size/4 {
+		return nil, fmt.Errorf("label: vertex count %d exceeds file size %d", n, size)
+	}
 	x := NewIndex(n, flags&1 != 0, flags&2 != 0)
 	if flags&4 != 0 {
 		perm := make([]int32, n)
+		seen := make([]bool, n)
 		for i := range perm {
 			if _, err := io.ReadFull(br, buf[:4]); err != nil {
 				return nil, err
 			}
-			perm[i] = int32(binary.LittleEndian.Uint32(buf[:4]))
+			p := int32(binary.LittleEndian.Uint32(buf[:4]))
+			if p < 0 || p >= n || seen[p] {
+				return nil, fmt.Errorf("label: perm is not a permutation at vertex %d", i)
+			}
+			seen[p] = true
+			perm[i] = p
 		}
 		x.SetPerm(perm)
 	}
-	readSide := func(lists [][]Entry) error {
+	readSide := func(side string, lists [][]Entry) error {
 		counts := make([]uint32, n)
+		var total int64
 		for i := range counts {
 			if _, err := io.ReadFull(br, buf[:4]); err != nil {
 				return err
 			}
-			counts[i] = binary.LittleEndian.Uint32(buf[:4])
+			c := binary.LittleEndian.Uint32(buf[:4])
+			// A valid label for vertex v holds strictly sorted pivots
+			// all smaller than v, so it can never exceed v entries.
+			if int64(c) > int64(i) {
+				return fmt.Errorf("label: %s(%d) claims %d entries, max %d", side, i, c, i)
+			}
+			counts[i] = c
+			total += int64(c)
+		}
+		if size >= 0 && total > size/8 {
+			return fmt.Errorf("label: %s claims %d entries beyond file size %d", side, total, size)
 		}
 		for v := int32(0); v < n; v++ {
 			l := make([]Entry, counts[v])
@@ -141,11 +184,11 @@ func Read(r io.Reader) (*Index, error) {
 		}
 		return nil
 	}
-	if err := readSide(x.Out); err != nil {
+	if err := readSide("Lout", x.Out); err != nil {
 		return nil, err
 	}
 	if x.Directed {
-		if err := readSide(x.In); err != nil {
+		if err := readSide("Lin", x.In); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,18 @@
 package hopdb
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Path reconstruction errors.
+var (
+	// ErrNoGraph is returned by Path when the index has no attached
+	// graph (e.g. freshly loaded from disk); see AttachGraph.
+	ErrNoGraph = errors.New("hopdb: no graph attached")
+	// ErrUnreachable is returned by Path when t is not reachable from s.
+	ErrUnreachable = errors.New("hopdb: target unreachable")
+)
 
 // Path reconstructs one shortest path from s to t (inclusive of both
 // endpoints) using the index plus the original graph: from each vertex it
@@ -8,13 +20,18 @@ import "fmt"
 // one distance query per neighbor. This is an extension beyond the paper,
 // which reports distances only; the cost is O(path length * average
 // degree) index queries.
-func (x *Index) Path(s, t int32) ([]int32, bool) {
+//
+// It returns ErrNoGraph when no graph is attached, ErrUnreachable when no
+// path exists, and a descriptive error when the index is inconsistent
+// with the graph (e.g. a corrupt file was loaded), so a serving process
+// never crashes on bad input.
+func (x *Index) Path(s, t int32) ([]int32, error) {
 	if x.g == nil {
-		return nil, false
+		return nil, ErrNoGraph
 	}
 	total, ok := x.Distance(s, t)
 	if !ok {
-		return nil, false
+		return nil, ErrUnreachable
 	}
 	path := []int32{s}
 	cur := s
@@ -40,15 +57,13 @@ func (x *Index) Path(s, t int32) ([]int32, bool) {
 			}
 		}
 		if next < 0 {
-			// Cannot happen on a consistent index; fail loudly rather
-			// than looping.
-			panic(fmt.Sprintf("hopdb: path reconstruction stuck at %d (remaining %d)", cur, remaining))
+			return nil, fmt.Errorf("hopdb: path reconstruction stuck at %d (remaining %d): index inconsistent with graph", cur, remaining)
 		}
 		path = append(path, next)
 		cur = next
 		remaining = nextRemaining
 	}
-	return path, true
+	return path, nil
 }
 
 // PathLength sums the edge weights along a path, validating that each hop
@@ -56,7 +71,7 @@ func (x *Index) Path(s, t int32) ([]int32, bool) {
 // reconstructed paths.
 func (x *Index) PathLength(path []int32) (uint32, error) {
 	if x.g == nil {
-		return 0, fmt.Errorf("hopdb: no graph attached")
+		return 0, ErrNoGraph
 	}
 	var total uint32
 	for i := 0; i+1 < len(path); i++ {
