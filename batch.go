@@ -16,7 +16,15 @@ type QueryPair struct {
 // callers (batch analytics, betweenness estimation) should prefer this
 // over a Distance loop.
 func (x *Index) DistanceBatch(pairs []QueryPair, workers int) []uint32 {
-	results := make([]uint32, len(pairs))
+	return x.DistanceBatchInto(make([]uint32, len(pairs)), pairs, workers)
+}
+
+// DistanceBatchInto is DistanceBatch writing into a caller-provided
+// results slice (len(results) must be >= len(pairs)), so throughput
+// servers can recycle buffers across requests instead of allocating per
+// batch. It returns results[:len(pairs)].
+func (x *Index) DistanceBatchInto(results []uint32, pairs []QueryPair, workers int) []uint32 {
+	results = results[:len(pairs)]
 	if len(pairs) == 0 {
 		return results
 	}

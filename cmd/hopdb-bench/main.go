@@ -1,6 +1,8 @@
 // Command hopdb-bench regenerates the paper's evaluation: every table and
 // figure of Section 8 over the synthetic proxy datasets (see DESIGN.md §5
-// for the substitution rationale).
+// for the substitution rationale). It also carries the serving-path
+// tooling: a load generator for hopdb-serve and a converter that turns
+// `go test -bench` output into the BENCH_PR.json artifact CI archives.
 //
 // Usage:
 //
@@ -12,15 +14,20 @@
 //	hopdb-bench fig9
 //	hopdb-bench fig10
 //	hopdb-bench -datasets enron,syn6 table6
+//	hopdb-bench -url http://127.0.0.1:8080 -requests 10000 -conc 16 serve
+//	hopdb-bench -url http://127.0.0.1:8080 -batch 64 serve
+//	go test -bench 'Distance|LoadIndex' -benchtime 1x -run '^$' | hopdb-bench benchjson
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/benchfmt"
 )
 
 func main() {
@@ -30,12 +37,48 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all 27)")
 		verbose  = flag.Bool("v", false, "stream progress")
 		tempDir  = flag.String("tmp", "", "temp dir for external builds")
+
+		url      = flag.String("url", "http://127.0.0.1:8080", "hopdb-serve base URL (serve)")
+		requests = flag.Int("requests", 1000, "total HTTP requests to send (serve)")
+		conc     = flag.Int("conc", 8, "concurrent clients (serve)")
+		batch    = flag.Int("batch", 1, "pairs per request; >1 uses POST /batch (serve)")
+		nvert    = flag.Int("nvert", 0, "vertex id space; 0 asks the server's /stats (serve)")
+		seed     = flag.Int64("seed", 1, "workload seed (serve)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 	}
 	what := flag.Arg(0)
+
+	switch what {
+	case "serve":
+		opt := bench.ServeBenchOptions{
+			URL:         *url,
+			Requests:    *requests,
+			Concurrency: *conc,
+			Batch:       *batch,
+			MaxVertex:   int32(*nvert),
+			Seed:        *seed,
+		}
+		res, err := bench.RunServeBench(opt)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintServeBench(os.Stdout, opt, res)
+		return
+	case "benchjson":
+		rep, err := benchfmt.Parse(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	ds := bench.Datasets()
 	if *datasets != "" {
@@ -151,7 +194,7 @@ func scaleNs(ns []int32, scale float64) []int32 {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hopdb-bench [flags] all|table6|table7|table8|fig8|fig9|fig10|assumptions")
+	fmt.Fprintln(os.Stderr, "usage: hopdb-bench [flags] all|table6|table7|table8|fig8|fig9|fig10|assumptions|serve|benchjson")
 	flag.PrintDefaults()
 	os.Exit(2)
 }

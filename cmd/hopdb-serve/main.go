@@ -1,0 +1,137 @@
+// Command hopdb-serve is the long-lived query server: it loads a
+// hop-doubling label index once (read into memory, or zero-copy mmap'd
+// with -mmap) and answers distance queries over HTTP until shut down.
+//
+// Usage:
+//
+//	hopdb-serve -idx graph.idx [-addr :8080] [-cache 100000]
+//	hopdb-serve -idx graph.idx -mmap -graph graph.txt   # enables /path
+//
+// Endpoints:
+//
+//	GET  /distance?s=1&t=2     one pair
+//	POST /batch                JSON array of [s,t] pairs
+//	GET  /path?s=1&t=2         shortest path (needs -graph)
+//	GET  /healthz              liveness
+//	GET  /stats                index size, uptime, QPS, cache hit rate
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	hopdb "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		idxPath   = flag.String("idx", "", "index file built by hopdb-build (required)")
+		useMmap   = flag.Bool("mmap", false, "memory-map the index (v2 flat format) instead of reading it into memory")
+		graphPath = flag.String("graph", "", "original edge list; attaching it enables /path and -bitparallel")
+		directed  = flag.Bool("directed", false, "treat -graph edges as directed")
+		weighted  = flag.Bool("weighted", false, "read -graph third column as weight")
+		bitpar    = flag.Int("bitparallel", 0, "enable bit-parallel acceleration with this many roots (needs -graph; undirected unweighted only)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cache     = flag.Int("cache", 0, "distance cache budget in entries (0 disables)")
+		workers   = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest accepted /batch request, in pairs")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	if *idxPath == "" {
+		fmt.Fprintln(os.Stderr, "hopdb-serve: -idx is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		idx *hopdb.Index
+		err error
+	)
+	start := time.Now()
+	if *useMmap {
+		idx, err = hopdb.LoadIndexFlat(*idxPath)
+	} else {
+		idx, err = hopdb.LoadIndex(*idxPath)
+	}
+	if err != nil {
+		fail(err)
+	}
+	defer idx.Close()
+	log.Printf("loaded %s in %v: %d vertices, %d entries (%d bytes)",
+		*idxPath, time.Since(start).Round(time.Millisecond), idx.N(), idx.Entries(), idx.SizeBytes())
+
+	if *graphPath != "" {
+		g, err := hopdb.LoadEdgeList(*graphPath, *directed, *weighted)
+		if err != nil {
+			fail(err)
+		}
+		idx.AttachGraph(g)
+		log.Printf("attached graph %s: /path enabled", *graphPath)
+	}
+	if *bitpar > 0 {
+		if err := idx.EnableBitParallel(*bitpar); err != nil {
+			fail(err)
+		}
+		log.Printf("bit-parallel acceleration enabled with %d roots", *bitpar)
+	}
+
+	srv := server.New(idx, server.Config{
+		CacheEntries: *cache,
+		MaxBatch:     *maxBatch,
+		Workers:      *workers,
+		Timeout:      *timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("serving on http://%s (cache=%d entries, max-batch=%d, timeout=%v)",
+		ln.Addr(), *cache, *maxBatch, *timeout)
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		<-done
+	}
+	st := srv.Stats()
+	log.Printf("served %d queries over %.1fs (%.0f qps)", st.Queries, st.UptimeSeconds, st.QPS)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopdb-serve:", err)
+	os.Exit(1)
+}

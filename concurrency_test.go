@@ -1,0 +1,114 @@
+package hopdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestDistanceConcurrentWithEnableBitParallel hammers Distance from many
+// goroutines while the bit-parallel transform runs and is published
+// mid-flight. Under -race this verifies the Index concurrency contract:
+// queries observe either the plain merge-join or the (atomically stored)
+// bit-parallel path, and both return the same exact distances.
+func TestDistanceConcurrentWithEnableBitParallel(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(600, 4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth from the plain index, before any goroutines start.
+	type pair struct{ s, t int32 }
+	var pairs []pair
+	var want []uint32
+	for s := int32(0); s < g.N(); s += 13 {
+		for u := int32(0); u < g.N(); u += 29 {
+			d, _ := idx.Distance(s, u)
+			pairs = append(pairs, pair{s, u})
+			want = append(want, d)
+		}
+	}
+
+	const workers = 8
+	var (
+		wg       sync.WaitGroup
+		start    = make(chan struct{})
+		mismatch atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for rep := 0; rep < 40; rep++ {
+				for i := range pairs {
+					d, _ := idx.Distance(pairs[i].s, pairs[i].t)
+					if d != want[i] {
+						mismatch.Add(1)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	close(start)
+	// Publish the bit-parallel index while the workers are querying.
+	if err := idx.EnableBitParallel(16); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if n := mismatch.Load(); n != 0 {
+		t.Fatalf("%d queries changed answers while bit-parallel was enabled", n)
+	}
+	// After the fence, queries must actually use the bit-parallel path.
+	if idx.bp.Load() == nil {
+		t.Fatal("bit-parallel index not published")
+	}
+	for i := range pairs {
+		if d, _ := idx.Distance(pairs[i].s, pairs[i].t); d != want[i] {
+			t.Fatalf("bit-parallel Distance(%d,%d) = %d, want %d", pairs[i].s, pairs[i].t, d, want[i])
+		}
+	}
+}
+
+// TestDistanceBatchConcurrentCallers runs overlapping DistanceBatch calls
+// from several goroutines (each with its own internal worker fan-out) to
+// check the batch path is free of shared mutable state under -race.
+func TestDistanceBatchConcurrentCallers(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(400, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]QueryPair, 0, 256)
+	for s := int32(0); s < g.N(); s += 7 {
+		for u := int32(0); u < g.N(); u += 23 {
+			pairs = append(pairs, QueryPair{S: s, T: u})
+		}
+	}
+	want := idx.DistanceBatch(pairs, 1)
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := idx.DistanceBatch(pairs, 4)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("batch result %d = %d, want %d", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitparallel"
 	"repro/internal/core"
@@ -116,10 +117,23 @@ type Stats = core.BuildStats
 // from a flat CSR label representation (one contiguous entries array per
 // side); the slice-of-slices form is kept only as a read-only view for
 // analysis tooling.
+//
+// # Concurrency
+//
+// An Index is safe for concurrent use: Distance, DistanceBatch, Path, and
+// the size accessors may be called from any number of goroutines, because
+// they only read the immutable label arrays (heap-allocated or mmap'd).
+// EnableBitParallel may even be invoked while queries are in flight — the
+// bit-parallel index is published atomically, so a concurrent query
+// observes either the plain merge-join or the bit-parallel path, both of
+// which return identical exact distances. The one ordering requirement is
+// AttachGraph: it must complete before any concurrent Path or
+// EnableBitParallel call, since the graph pointer itself is not
+// synchronized.
 type Index struct {
-	flat *label.FlatIndex   // query-serving CSR labels
-	g    *Graph             // retained for Path; may be nil after Load
-	bp   *bitparallel.Index // optional bit-parallel acceleration
+	flat *label.FlatIndex                  // query-serving CSR labels
+	g    *Graph                            // retained for Path; may be nil after Load
+	bp   atomic.Pointer[bitparallel.Index] // optional bit-parallel acceleration
 
 	// labels is a lazily built read-only view aliasing flat's arrays,
 	// materialized only for tooling that wants the nested form; building
@@ -173,11 +187,12 @@ func Build(g *Graph, opt Options) (*Index, Stats, error) {
 }
 
 // Distance returns the exact distance from s to t and whether t is
-// reachable from s. Vertex ids are the caller's original ids.
+// reachable from s. Vertex ids are the caller's original ids. It is safe
+// for concurrent use; see the Index concurrency contract.
 func (x *Index) Distance(s, t int32) (uint32, bool) {
 	var d uint32
-	if x.bp != nil {
-		d = x.bp.Distance(s, t)
+	if bp := x.bp.Load(); bp != nil {
+		d = bp.Distance(s, t)
 	} else {
 		d = x.flat.Distance(s, t)
 	}
@@ -208,6 +223,11 @@ func (x *Index) Flat() *label.FlatIndex { return x.flat }
 // EnableBitParallel folds the top-ranked hub labels into bit-parallel
 // tuples (paper Section 6). Only undirected unweighted indexes qualify;
 // roots <= 0 selects the paper's default of 50.
+//
+// It may be called while queries are running: the transformation works on
+// a private copy of the label view and the finished bit-parallel index is
+// published with one atomic store, so in-flight Distance calls never see
+// a half-built structure.
 func (x *Index) EnableBitParallel(roots int) error {
 	if x.g == nil {
 		return fmt.Errorf("hopdb: bit-parallel transform needs the graph; unavailable on a loaded index")
@@ -216,7 +236,7 @@ func (x *Index) EnableBitParallel(roots int) error {
 	if err != nil {
 		return err
 	}
-	x.bp = bp
+	x.bp.Store(bp)
 	return nil
 }
 
@@ -298,7 +318,8 @@ func LoadIndexFlat(path string) (*Index, error) {
 func (x *Index) Close() error { return x.flat.Close() }
 
 // AttachGraph re-associates the original graph with a loaded index,
-// enabling Path and EnableBitParallel.
+// enabling Path and EnableBitParallel. It must complete before the index
+// is shared across goroutines; see the Index concurrency contract.
 func (x *Index) AttachGraph(g *Graph) { x.g = g }
 
 // SaveDiskIndex writes the index in the block-addressable on-disk format

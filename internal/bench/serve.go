@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServeBenchOptions configures the hopdb-serve load generator.
+type ServeBenchOptions struct {
+	// URL is the server base URL, e.g. http://127.0.0.1:8080.
+	URL string
+	// Requests is the total number of HTTP requests to send.
+	Requests int
+	// Concurrency is the number of in-flight client goroutines.
+	Concurrency int
+	// Batch is the pairs per request: <= 1 issues GET /distance,
+	// larger values issue POST /batch with that many pairs.
+	Batch int
+	// MaxVertex bounds the random vertex ids; 0 discovers it from
+	// GET /stats.
+	MaxVertex int32
+	// Seed makes the query workload reproducible.
+	Seed int64
+}
+
+// ServeBenchResult summarizes a load-generation run.
+type ServeBenchResult struct {
+	Requests       int64
+	Pairs          int64
+	Errors         int64
+	Elapsed        time.Duration
+	RequestsPerSec float64
+	PairsPerSec    float64
+	P50, P95, P99  time.Duration
+	Max            time.Duration
+}
+
+// RunServeBench drives a running hopdb-serve instance with a uniform
+// random query workload and reports throughput and latency percentiles.
+// It is the measurement half of the serving story: start the server,
+// point this at it, read QPS.
+func RunServeBench(opt ServeBenchOptions) (ServeBenchResult, error) {
+	if opt.Requests <= 0 {
+		opt.Requests = 1000
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 8
+	}
+	if opt.Batch < 1 {
+		opt.Batch = 1
+	}
+	base := strings.TrimRight(opt.URL, "/")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Concurrency,
+			MaxIdleConnsPerHost: opt.Concurrency,
+		},
+	}
+	if opt.MaxVertex <= 0 {
+		n, err := discoverVertices(client, base)
+		if err != nil {
+			return ServeBenchResult{}, err
+		}
+		opt.MaxVertex = n
+	}
+	if opt.MaxVertex <= 0 {
+		return ServeBenchResult{}, fmt.Errorf("bench: server reports no vertices")
+	}
+
+	// Pre-build the request workload so the generator does no work (and
+	// no allocation beyond the HTTP stack) on the timed path.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	const workload = 1024
+	urls := make([]string, 0, workload)
+	bodies := make([][]byte, 0, workload)
+	for i := 0; i < workload; i++ {
+		if opt.Batch <= 1 {
+			urls = append(urls, fmt.Sprintf("%s/distance?s=%d&t=%d",
+				base, rng.Int31n(opt.MaxVertex), rng.Int31n(opt.MaxVertex)))
+			continue
+		}
+		pairs := make([][2]int32, opt.Batch)
+		for j := range pairs {
+			pairs[j] = [2]int32{rng.Int31n(opt.MaxVertex), rng.Int31n(opt.MaxVertex)}
+		}
+		body, err := json.Marshal(pairs)
+		if err != nil {
+			return ServeBenchResult{}, err
+		}
+		bodies = append(bodies, body)
+	}
+
+	var (
+		next      atomic.Int64
+		errors    atomic.Int64
+		wg        sync.WaitGroup
+		latencies = make([][]time.Duration, opt.Concurrency)
+	)
+	start := time.Now()
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, opt.Requests/opt.Concurrency+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opt.Requests) {
+					break
+				}
+				var (
+					resp *http.Response
+					err  error
+				)
+				t0 := time.Now()
+				if opt.Batch <= 1 {
+					resp, err = client.Get(urls[i%int64(len(urls))])
+				} else {
+					resp, err = client.Post(base+"/batch", "application/json",
+						bytes.NewReader(bodies[i%int64(len(bodies))]))
+				}
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if cerr != nil || resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := ServeBenchResult{
+		Requests: int64(len(all)),
+		Pairs:    int64(len(all)) * int64(opt.Batch),
+		Errors:   errors.Load(),
+		Elapsed:  elapsed,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.RequestsPerSec = float64(res.Requests) / sec
+		res.PairsPerSec = float64(res.Pairs) / sec
+	}
+	if len(all) > 0 {
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		res.P50, res.P95, res.P99, res.Max = pct(0.50), pct(0.95), pct(0.99), all[len(all)-1]
+	}
+	return res, nil
+}
+
+// discoverVertices asks /stats for the index size.
+func discoverVertices(client *http.Client, base string) (int32, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, fmt.Errorf("bench: querying %s/stats: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("bench: %s/stats returned %s", base, resp.Status)
+	}
+	var st struct {
+		Vertices int32 `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	return st.Vertices, nil
+}
+
+// PrintServeBench renders a load-generation run.
+func PrintServeBench(w io.Writer, opt ServeBenchOptions, res ServeBenchResult) {
+	mode := "GET /distance"
+	if opt.Batch > 1 {
+		mode = fmt.Sprintf("POST /batch x%d", opt.Batch)
+	}
+	fmt.Fprintf(w, "ServeBench against %s (%s, %d clients)\n", opt.URL, mode, opt.Concurrency)
+	fmt.Fprintf(w, "  %d requests (%d pairs) in %v, %d errors\n",
+		res.Requests, res.Pairs, res.Elapsed.Round(time.Millisecond), res.Errors)
+	fmt.Fprintf(w, "  throughput: %.0f req/s, %.0f pairs/s\n", res.RequestsPerSec, res.PairsPerSec)
+	fmt.Fprintf(w, "  latency: p50 %v  p95 %v  p99 %v  max %v\n", res.P50, res.P95, res.P99, res.Max)
+}

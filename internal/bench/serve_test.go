@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	hopdb "repro"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// TestRunServeBench drives the load generator against an in-process
+// instance of the query server: vertex-space discovery via /stats, both
+// the single-query and batch modes, and the error counting.
+func TestRunServeBench(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(300, 3, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(idx, server.Config{CacheEntries: 256}).Handler())
+	defer ts.Close()
+
+	for _, batch := range []int{1, 16} {
+		res, err := RunServeBench(ServeBenchOptions{
+			URL:         ts.URL,
+			Requests:    40,
+			Concurrency: 4,
+			Batch:       batch,
+			Seed:        9,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if res.Requests != 40 || res.Errors != 0 {
+			t.Fatalf("batch=%d: %d requests, %d errors", batch, res.Requests, res.Errors)
+		}
+		if want := int64(40 * batch); res.Pairs != want {
+			t.Fatalf("batch=%d: %d pairs, want %d", batch, res.Pairs, want)
+		}
+		if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+			t.Fatalf("batch=%d: implausible percentiles %+v", batch, res)
+		}
+	}
+
+	// An unreachable server reports an error, not a hang.
+	if _, err := RunServeBench(ServeBenchOptions{URL: "http://127.0.0.1:1", Requests: 1}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

@@ -1,0 +1,117 @@
+// Package benchfmt parses `go test -bench` text output into a structured
+// report, so CI can publish each PR's benchmark numbers as a JSON
+// artifact (BENCH_PR.json) and the performance trajectory of the repo is
+// machine-diffable across commits.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line, e.g.
+//
+//	BenchmarkDistance/enron/flat-8  1226  972.1 ns/op  0 B/op  0 allocs/op
+type Benchmark struct {
+	// Name is the benchmark name with the -P procs suffix stripped.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the "pkg:" header).
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is GOMAXPROCS during the run (the -P name suffix).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (B/op, allocs/op, MB/s,
+	// custom b.ReportMetric units) keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a parsed benchmark run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output. Unrecognized lines (test chatter,
+// PASS/ok trailers) are skipped; a malformed Benchmark line is an error
+// so CI notices truncated output instead of archiving a partial report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine splits one result line. ok=false skips lines that merely
+// start with "Benchmark" without being results (e.g. a benchmark name
+// echoed alone when -v is set).
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	// The rest comes in (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("benchfmt: odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		val, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("benchfmt: bad metric value %q in %q", rest[i], line)
+		}
+		unit := rest[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = val
+	}
+	return b, true, nil
+}

@@ -1,0 +1,72 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkDistance/enron/nested-8         	 1226634	       972.1 ns/op
+BenchmarkDistance/enron/flat-8           	 1514790	       790.4 ns/op
+BenchmarkLoadIndex/v2-flat-8             	     100	    120345 ns/op	    2048 B/op	       7 allocs/op
+PASS
+ok  	repro	42.1s
+pkg: repro/internal/label
+BenchmarkFreeze-8	    5000	    240000 ns/op	  64.21 MB/s
+PASS
+ok  	repro/internal/label	3.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %s/%s/%s", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkDistance/enron/nested" || b.Procs != 8 || b.Iterations != 1226634 || b.NsPerOp != 972.1 || b.Pkg != "repro" {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	b = rep.Benchmarks[2]
+	if b.Metrics["B/op"] != 2048 || b.Metrics["allocs/op"] != 7 {
+		t.Errorf("memory metrics = %+v", b.Metrics)
+	}
+	b = rep.Benchmarks[3]
+	if b.Pkg != "repro/internal/label" || b.Metrics["MB/s"] != 64.21 {
+		t.Errorf("second package benchmark = %+v", b)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok\trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchless output", len(rep.Benchmarks))
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	// A benchmark line with a dangling metric value must error so CI
+	// catches truncated output.
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 100 972.1\n")); err == nil {
+		t.Fatal("odd metric fields accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 100 abc ns/op\n")); err == nil {
+		t.Fatal("non-numeric metric accepted")
+	}
+	// A lone name line (from -v chatter) is skipped, not an error.
+	rep, err := Parse(strings.NewReader("BenchmarkX\nBenchmarkY-8 100 5 ns/op\n"))
+	if err != nil || len(rep.Benchmarks) != 1 {
+		t.Fatalf("chatter handling: %v, %d benchmarks", err, len(rep.Benchmarks))
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the fixed shard count of the distance cache. Sixteen
+// mutex-guarded shards keep lock hold times tiny and let up to sixteen
+// cores hit the cache without contending; the shard is picked from a
+// mixed hash of the pair key so skewed workloads still spread out.
+const cacheShards = 16
+
+// distCache is a sharded LRU cache of answered distance queries. It sits
+// in front of the label merge join for skewed (power-law) query
+// workloads, where a small set of hot pairs dominates traffic. Both
+// reachable distances and Infinity (unreachable) answers are cached —
+// negative answers are exactly as expensive to recompute.
+type distCache struct {
+	undirected bool // canonicalize (s,t) so both query directions share an entry
+	shards     [cacheShards]cacheShard
+	hits       atomic.Int64
+	misses     atomic.Int64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[uint64]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  uint64
+	dist uint32
+}
+
+// newDistCache builds a cache holding about `entries` pairs in total.
+// It returns nil (cache disabled) for entries <= 0.
+func newDistCache(entries int, undirected bool) *distCache {
+	if entries <= 0 {
+		return nil
+	}
+	perShard := (entries + cacheShards - 1) / cacheShards
+	c := &distCache{undirected: undirected}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap: perShard,
+			m:   make(map[uint64]*list.Element, perShard),
+			ll:  list.New(),
+		}
+	}
+	return c
+}
+
+// pairKey packs a query pair into the cache key. For undirected indexes
+// the pair is canonicalized so d(s,t) and d(t,s) share one entry.
+func (c *distCache) pairKey(s, t int32) uint64 {
+	if c.undirected && s > t {
+		s, t = t, s
+	}
+	return uint64(uint32(s))<<32 | uint64(uint32(t))
+}
+
+// shardOf mixes the key (fibonacci hashing) so sequential vertex ids do
+// not all land in one shard, then takes the top bits.
+func (c *distCache) shardOf(key uint64) *cacheShard {
+	h := key * 0x9e3779b97f4a7c15
+	return &c.shards[h>>(64-4)]
+}
+
+// get returns the cached distance for (s,t) and whether it was present,
+// updating recency and the hit/miss counters.
+func (c *distCache) get(s, t int32) (uint32, bool) {
+	key := c.pairKey(s, t)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	el, ok := sh.m[key]
+	if ok {
+		sh.ll.MoveToFront(el)
+		d := el.Value.(*cacheEntry).dist
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return d, true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return 0, false
+}
+
+// put records an answered query, evicting the shard's least recently
+// used entry when the shard is at capacity.
+func (c *distCache) put(s, t int32, d uint32) {
+	key := c.pairKey(s, t)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		el.Value.(*cacheEntry).dist = d
+		sh.ll.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	if sh.ll.Len() >= sh.cap {
+		oldest := sh.ll.Back()
+		if oldest != nil {
+			sh.ll.Remove(oldest)
+			delete(sh.m, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	sh.m[key] = sh.ll.PushFront(&cacheEntry{key: key, dist: d})
+	sh.mu.Unlock()
+}
+
+// len returns the number of cached entries across all shards.
+func (c *distCache) len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// capacity returns the total entry budget across all shards.
+func (c *distCache) capacity() int {
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].cap
+	}
+	return total
+}

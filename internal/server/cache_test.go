@@ -1,0 +1,105 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheDisabled(t *testing.T) {
+	if c := newDistCache(0, true); c != nil {
+		t.Fatal("entries=0 should disable the cache")
+	}
+	if c := newDistCache(-5, false); c != nil {
+		t.Fatal("negative budget should disable the cache")
+	}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := newDistCache(64, false)
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(1, 2, 7)
+	if d, ok := c.get(1, 2); !ok || d != 7 {
+		t.Fatalf("get(1,2) = (%d,%v), want (7,true)", d, ok)
+	}
+	// Directed cache: the reverse pair is a different key.
+	if _, ok := c.get(2, 1); ok {
+		t.Fatal("directed cache treated (2,1) as (1,2)")
+	}
+	if c.hits.Load() != 1 || c.misses.Load() != 2 {
+		t.Fatalf("counters = (%d hits, %d misses), want (1, 2)", c.hits.Load(), c.misses.Load())
+	}
+}
+
+func TestCacheUndirectedCanonicalizes(t *testing.T) {
+	c := newDistCache(64, true)
+	c.put(9, 3, 4)
+	if d, ok := c.get(3, 9); !ok || d != 4 {
+		t.Fatalf("undirected get(3,9) = (%d,%v), want (4,true)", d, ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Total budget 16 = 1 entry per shard: inserting two keys that land
+	// in the same shard must evict the least recently used one.
+	c := newDistCache(cacheShards, false)
+	// Find two keys sharing a shard.
+	base := c.shardOf(c.pairKey(0, 1))
+	var s2, t2 int32
+	found := false
+	for s := int32(0); s < 64 && !found; s++ {
+		for u := int32(0); u < 64; u++ {
+			if (s != 0 || u != 1) && c.shardOf(c.pairKey(s, u)) == base {
+				s2, t2, found = s, u, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no colliding key pair found")
+	}
+	c.put(0, 1, 10)
+	c.put(s2, t2, 20) // evicts (0,1)
+	if _, ok := c.get(0, 1); ok {
+		t.Fatal("LRU entry not evicted at capacity")
+	}
+	if d, ok := c.get(s2, t2); !ok || d != 20 {
+		t.Fatalf("newest entry lost: (%d,%v)", d, ok)
+	}
+}
+
+func TestCacheUpdateRefreshes(t *testing.T) {
+	c := newDistCache(cacheShards, false) // 1 entry per shard
+	c.put(5, 6, 1)
+	c.put(5, 6, 2) // update in place, no eviction
+	if d, ok := c.get(5, 6); !ok || d != 2 {
+		t.Fatalf("updated entry = (%d,%v), want (2,true)", d, ok)
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d, want 1", n)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newDistCache(256, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int32(0); i < 500; i++ {
+				s, u := i%40, (i*7+int32(w))%40
+				c.put(s, u, uint32(s+u))
+				if d, ok := c.get(s, u); ok && d != uint32(s+u) {
+					t.Errorf("get(%d,%d) = %d, want %d", s, u, d, s+u)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > c.capacity() {
+		t.Fatalf("cache overfilled: %d > %d", c.len(), c.capacity())
+	}
+}

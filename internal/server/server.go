@@ -1,0 +1,413 @@
+// Package server implements the hopdb query service: an HTTP front end
+// that answers point-to-point distance queries from a single shared
+// hop-doubling label index (see cmd/hopdb-serve).
+//
+// The hot path is contention-free by construction — the label arrays are
+// immutable (possibly mmap'd) and hopdb.Index is safe for concurrent
+// queries — so the server adds only per-request state, drawn from a
+// sync.Pool, plus an optional sharded LRU cache of answered pairs for
+// skewed workloads.
+//
+// Endpoints and their JSON shapes:
+//
+//	GET  /distance?s=1&t=2 -> {"s":1,"t":2,"distance":3,"reachable":true}
+//	                          {"s":1,"t":9,"reachable":false}          (unreachable: distance omitted)
+//	POST /batch  [[1,2],[3,4]] -> {"results":[{...},{...}]}            (same shape per pair)
+//	GET  /path?s=1&t=2 -> {"s":1,"t":2,"distance":3,"path":[1,7,4,2]}  (needs an attached graph)
+//	GET  /healthz -> {"status":"ok"}
+//	GET  /stats -> index size, uptime, query counters, cache hit rate
+//
+// Errors are always {"error":"..."} with a matching HTTP status: 400 for
+// malformed input, 404 for an unreachable /path pair, 405 for a wrong
+// method, 413 for an oversized batch, 501 for /path without a graph.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hopdb "repro"
+)
+
+// DefaultMaxBatch caps /batch requests when Config.MaxBatch is zero.
+const DefaultMaxBatch = 10000
+
+// Config tunes a Server.
+type Config struct {
+	// CacheEntries is the distance cache budget in entries (pairs);
+	// 0 disables the cache.
+	CacheEntries int
+	// MaxBatch is the largest accepted /batch request, in pairs
+	// (default DefaultMaxBatch). Larger batches get HTTP 413.
+	MaxBatch int
+	// Workers is the fan-out of a /batch request across goroutines
+	// (default GOMAXPROCS).
+	Workers int
+	// Timeout bounds request handling end-to-end; 0 disables it.
+	Timeout time.Duration
+}
+
+// Server answers distance queries over HTTP from one shared index.
+type Server struct {
+	idx     *hopdb.Index
+	cfg     Config
+	cache   *distCache // nil when disabled
+	start   time.Time
+	queries atomic.Int64 // individual pair lookups answered
+	ctxPool sync.Pool
+	handler http.Handler
+}
+
+// jsonPair decodes one [s,t] element of a /batch request, rejecting
+// anything but exactly two numbers — the stock [2]int32 decoding would
+// silently zero-pad [[5]] and drop the tail of [[1,2,9]], turning client
+// typos into confidently wrong answers.
+type jsonPair [2]int32
+
+func (p *jsonPair) UnmarshalJSON(b []byte) error {
+	elems := make([]int32, 0, 2)
+	if err := json.Unmarshal(b, &elems); err != nil {
+		return err
+	}
+	if len(elems) != 2 {
+		return fmt.Errorf("pair must be [s,t], got %d elements", len(elems))
+	}
+	p[0], p[1] = elems[0], elems[1]
+	return nil
+}
+
+// queryCtx is the pooled per-request scratch: decode buffer, converted
+// pairs, result distances, and the cache-miss index lists. Pooling it
+// keeps steady-state /batch handling at O(1) allocations regardless of
+// batch size.
+type queryCtx struct {
+	raw       []jsonPair
+	pairs     []hopdb.QueryPair
+	dists     []uint32
+	missPairs []hopdb.QueryPair
+	missDists []uint32
+	missIdx   []int
+	results   []DistanceResult
+}
+
+// New wraps idx in a Server. The index must already be fully initialized
+// (graph attached, bit-parallel enabled) before serving starts.
+func New(idx *hopdb.Index, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		idx:   idx,
+		cfg:   cfg,
+		cache: newDistCache(cfg.CacheEntries, !idx.Flat().Directed),
+		start: time.Now(),
+	}
+	s.ctxPool.New = func() any { return &queryCtx{} }
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", s.handleDistance)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/path", s.handlePath)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	var h http.Handler = mux
+	if cfg.Timeout > 0 {
+		h = http.TimeoutHandler(h, cfg.Timeout, `{"error":"request timed out"}`)
+	}
+	s.handler = h
+	return s
+}
+
+// Handler returns the root http.Handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// DistanceResult is the JSON answer for one query pair. Distance is a
+// pointer so unreachable pairs omit the field instead of reporting a
+// bogus zero (and s==t still reports an explicit 0).
+type DistanceResult struct {
+	S         int32   `json:"s"`
+	T         int32   `json:"t"`
+	Distance  *uint32 `json:"distance,omitempty"`
+	Reachable bool    `json:"reachable"`
+}
+
+// BatchResult is the JSON answer for a /batch request; results[i]
+// answers pairs[i].
+type BatchResult struct {
+	Results []DistanceResult `json:"results"`
+}
+
+// PathResult is the JSON answer for a /path request.
+type PathResult struct {
+	S        int32   `json:"s"`
+	T        int32   `json:"t"`
+	Distance uint32  `json:"distance"`
+	Path     []int32 `json:"path"`
+}
+
+// StatsResult is the JSON answer for /stats.
+type StatsResult struct {
+	Vertices      int32       `json:"vertices"`
+	Entries       int64       `json:"entries"`
+	SizeBytes     int64       `json:"size_bytes"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Queries       int64       `json:"queries"`
+	QPS           float64     `json:"qps"`
+	Cache         *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats reports distance-cache effectiveness in /stats.
+type CacheStats struct {
+	Capacity int     `json:"capacity"`
+	Entries  int     `json:"entries"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// distance answers one pair through the cache (when enabled).
+func (s *Server) distance(sv, tv int32) uint32 {
+	if s.cache != nil {
+		if d, ok := s.cache.get(sv, tv); ok {
+			return d
+		}
+	}
+	d, _ := s.idx.Distance(sv, tv)
+	if s.cache != nil {
+		s.cache.put(sv, tv, d)
+	}
+	return d
+}
+
+// distanceBatch answers pairs into dists (len(dists) == len(pairs)),
+// checking the cache first and sharding the misses across the worker
+// pool via DistanceBatchInto.
+func (s *Server) distanceBatch(qc *queryCtx) {
+	pairs, dists := qc.pairs, qc.dists
+	if s.cache == nil {
+		s.idx.DistanceBatchInto(dists, pairs, s.cfg.Workers)
+		return
+	}
+	qc.missPairs = qc.missPairs[:0]
+	qc.missIdx = qc.missIdx[:0]
+	for i, p := range pairs {
+		if d, ok := s.cache.get(p.S, p.T); ok {
+			dists[i] = d
+		} else {
+			qc.missIdx = append(qc.missIdx, i)
+			qc.missPairs = append(qc.missPairs, p)
+		}
+	}
+	if len(qc.missPairs) == 0 {
+		return
+	}
+	if cap(qc.missDists) < len(qc.missPairs) {
+		qc.missDists = make([]uint32, len(qc.missPairs))
+	}
+	qc.missDists = qc.missDists[:len(qc.missPairs)]
+	s.idx.DistanceBatchInto(qc.missDists, qc.missPairs, s.cfg.Workers)
+	for j, i := range qc.missIdx {
+		dists[i] = qc.missDists[j]
+		s.cache.put(pairs[i].S, pairs[i].T, qc.missDists[j])
+	}
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	sv, tv, ok := parsePair(w, r)
+	if !ok {
+		return
+	}
+	d := s.distance(sv, tv)
+	s.queries.Add(1)
+	res := DistanceResult{S: sv, T: tv, Reachable: d != hopdb.Infinity}
+	if res.Reachable {
+		res.Distance = &d
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	qc := s.ctxPool.Get().(*queryCtx)
+	defer s.ctxPool.Put(qc)
+
+	// Bound the body before parsing: 64 bytes comfortably covers one
+	// encoded pair even with pretty-printed whitespace, so an in-budget
+	// batch is never clipped but a grossly oversized one fails fast.
+	maxBody := int64(s.cfg.MaxBatch)*64 + 64
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	qc.raw = qc.raw[:0]
+	if err := json.NewDecoder(body).Decode(&qc.raw); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes (max-batch is %d pairs)", maxBody, s.cfg.MaxBatch))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "body must be a JSON array of [s,t] pairs: "+err.Error())
+		return
+	}
+	if len(qc.raw) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d pairs exceeds the limit of %d", len(qc.raw), s.cfg.MaxBatch))
+		return
+	}
+
+	n := len(qc.raw)
+	if cap(qc.pairs) < n {
+		qc.pairs = make([]hopdb.QueryPair, n)
+		qc.dists = make([]uint32, n)
+		qc.results = make([]DistanceResult, n)
+	}
+	qc.pairs, qc.dists, qc.results = qc.pairs[:n], qc.dists[:n], qc.results[:n]
+	if qc.results == nil {
+		// Keep the documented shape: an empty batch answers
+		// {"results":[]}, never {"results":null}.
+		qc.results = []DistanceResult{}
+	}
+	for i, p := range qc.raw {
+		qc.pairs[i] = hopdb.QueryPair{S: p[0], T: p[1]}
+	}
+	s.distanceBatch(qc)
+	s.queries.Add(int64(n))
+	for i := range qc.results {
+		qc.results[i] = DistanceResult{
+			S:         qc.pairs[i].S,
+			T:         qc.pairs[i].T,
+			Reachable: qc.dists[i] != hopdb.Infinity,
+		}
+		if qc.results[i].Reachable {
+			qc.results[i].Distance = &qc.dists[i]
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResult{Results: qc.results})
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	sv, tv, ok := parsePair(w, r)
+	if !ok {
+		return
+	}
+	path, err := s.idx.Path(sv, tv)
+	s.queries.Add(1)
+	switch {
+	case errors.Is(err, hopdb.ErrNoGraph):
+		writeError(w, http.StatusNotImplemented, "path reconstruction needs a graph; start hopdb-serve with -graph")
+		return
+	case errors.Is(err, hopdb.ErrUnreachable):
+		writeError(w, http.StatusNotFound, fmt.Sprintf("%d is unreachable from %d", tv, sv))
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	d, _ := s.idx.Distance(sv, tv)
+	writeJSON(w, http.StatusOK, PathResult{S: sv, T: tv, Distance: d, Path: path})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats snapshots the serving counters (also served as /stats).
+func (s *Server) Stats() StatsResult {
+	uptime := time.Since(s.start).Seconds()
+	queries := s.queries.Load()
+	res := StatsResult{
+		Vertices:      s.idx.N(),
+		Entries:       s.idx.Entries(),
+		SizeBytes:     s.idx.SizeBytes(),
+		UptimeSeconds: uptime,
+		Queries:       queries,
+	}
+	if uptime > 0 {
+		res.QPS = float64(queries) / uptime
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+		cs := &CacheStats{
+			Capacity: s.cache.capacity(),
+			Entries:  s.cache.len(),
+			Hits:     hits,
+			Misses:   misses,
+		}
+		if hits+misses > 0 {
+			cs.HitRate = float64(hits) / float64(hits+misses)
+		}
+		res.Cache = cs
+	}
+	return res
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// parsePair pulls the s/t query parameters, writing a 400 on failure.
+func parsePair(w http.ResponseWriter, r *http.Request) (sv, tv int32, ok bool) {
+	q := r.URL.Query()
+	parse := func(name string) (int32, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			writeError(w, http.StatusBadRequest, "missing required parameter "+name)
+			return 0, false
+		}
+		v, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter %s=%q is not a vertex id", name, raw))
+			return 0, false
+		}
+		return int32(v), true
+	}
+	if sv, ok = parse("s"); !ok {
+		return 0, 0, false
+	}
+	if tv, ok = parse("t"); !ok {
+		return 0, 0, false
+	}
+	return sv, tv, true
+}
+
+// allowMethod writes a 405 (with Allow) unless r uses the given method.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, r.Method+" not allowed; use "+method)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

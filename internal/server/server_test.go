@@ -1,0 +1,333 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	hopdb "repro"
+)
+
+// testIndex builds an index over two components: a path 0-1-2-3 and an
+// edge 4-5, so both reachable and unreachable pairs exist.
+func testIndex(t *testing.T) *hopdb.Index {
+	t.Helper()
+	b := hopdb.NewGraphBuilder(false, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(4, 5, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(testIndex(t), cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDistanceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		query  string
+		status int
+		body   string // exact body including trailing newline
+	}{
+		{"s=0&t=3", 200, `{"s":0,"t":3,"distance":3,"reachable":true}` + "\n"},
+		{"s=2&t=2", 200, `{"s":2,"t":2,"distance":0,"reachable":true}` + "\n"},
+		{"s=0&t=4", 200, `{"s":0,"t":4,"reachable":false}` + "\n"},
+		// Out-of-range ids are answered as unreachable, not as errors.
+		{"s=0&t=999", 200, `{"s":0,"t":999,"reachable":false}` + "\n"},
+		{"s=-1&t=2", 200, `{"s":-1,"t":2,"reachable":false}` + "\n"},
+	}
+	for _, c := range cases {
+		status, body := get(t, ts.URL+"/distance?"+c.query)
+		if status != c.status || body != c.body {
+			t.Errorf("GET /distance?%s = %d %q, want %d %q", c.query, status, body, c.status, c.body)
+		}
+	}
+}
+
+func TestDistanceBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, q := range []string{"", "s=1", "t=1", "s=abc&t=1", "s=1&t=1e3", "s=99999999999&t=1"} {
+		status, body := get(t, ts.URL+"/distance?"+q)
+		if status != http.StatusBadRequest {
+			t.Errorf("GET /distance?%s = %d %q, want 400", q, status, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+			t.Errorf("GET /distance?%s error body %q not {\"error\":...}", q, body)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/distance?s=0&t=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /distance = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 64, Workers: 4})
+	pairs := [][2]int32{{0, 3}, {3, 0}, {2, 2}, {0, 4}, {1, 3}, {0, 999}}
+	body, _ := json.Marshal(pairs)
+	// Run twice so the second pass is served from the cache.
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var br BatchResult
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(br.Results) != len(pairs) {
+			t.Fatalf("round %d: status %d, %d results", round, resp.StatusCode, len(br.Results))
+		}
+		for i, p := range pairs {
+			want, wantOK := s.idx.Distance(p[0], p[1])
+			r := br.Results[i]
+			if r.S != p[0] || r.T != p[1] || r.Reachable != wantOK {
+				t.Fatalf("round %d result %d = %+v, want s=%d t=%d reachable=%v", round, i, r, p[0], p[1], wantOK)
+			}
+			if wantOK && (r.Distance == nil || *r.Distance != want) {
+				t.Fatalf("round %d result %d distance = %v, want %d", round, i, r.Distance, want)
+			}
+			if !wantOK && r.Distance != nil {
+				t.Fatalf("round %d result %d: unreachable pair carries distance %d", round, i, *r.Distance)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Cache == nil || st.Cache.Hits == 0 {
+		t.Fatalf("second batch round did not hit the cache: %+v", st.Cache)
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 3})
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`[[0,1],[1,2],[2,3],[3,0]]`); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("4-pair batch with MaxBatch=3 = %d, want 413", code)
+	}
+	if code := post(`{"pairs":[[0,1]]}`); code != http.StatusBadRequest {
+		t.Errorf("non-array body = %d, want 400", code)
+	}
+	// Pairs must have exactly two elements; the JSON decoder's default
+	// zero-padding/truncation of fixed arrays must not leak through.
+	if code := post(`[[5]]`); code != http.StatusBadRequest {
+		t.Errorf("1-element pair = %d, want 400", code)
+	}
+	if code := post(`[[1,2,9]]`); code != http.StatusBadRequest {
+		t.Errorf("3-element pair = %d, want 400", code)
+	}
+	if code := post(`[[0,1]`); code != http.StatusBadRequest {
+		t.Errorf("truncated JSON = %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Twice: the first request hits a fresh pooled context (nil results
+	// backing array), the second a recycled one. Both must answer [].
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(`[]`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(body) != `{"results":[]}`+"\n" {
+			t.Fatalf("empty batch round %d = %d %q, want {\"results\":[]}", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestBatchOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 4})
+	// Far more bytes than 4 pairs can need: the body cap fires.
+	huge := "[" + strings.Repeat("[1000000,1000000],", 500) + "[0,1]]"
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestPathEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := get(t, ts.URL+"/path?s=0&t=3")
+	if status != 200 {
+		t.Fatalf("GET /path?s=0&t=3 = %d %q", status, body)
+	}
+	var pr PathResult
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Distance != 3 || len(pr.Path) != 4 || pr.Path[0] != 0 || pr.Path[3] != 3 {
+		t.Fatalf("path result %+v, want distance 3 over [0 1 2 3]", pr)
+	}
+	if status, _ := get(t, ts.URL+"/path?s=0&t=5"); status != http.StatusNotFound {
+		t.Errorf("unreachable path = %d, want 404", status)
+	}
+	if status, _ := get(t, ts.URL+"/path?s=0&t=zzz"); status != http.StatusBadRequest {
+		t.Errorf("bad param path = %d, want 400", status)
+	}
+}
+
+func TestPathWithoutGraph(t *testing.T) {
+	idx := testIndex(t)
+	file := filepath.Join(t.TempDir(), "g.idx")
+	if err := idx.Save(file); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := hopdb.LoadIndex(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(loaded, Config{}).Handler())
+	defer ts.Close()
+	status, _ := get(t, ts.URL+"/path?s=0&t=3")
+	if status != http.StatusNotImplemented {
+		t.Errorf("/path without graph = %d, want 501", status)
+	}
+	// Distance still works on the graph-less index.
+	if status, body := get(t, ts.URL+"/distance?s=0&t=3"); status != 200 || !strings.Contains(body, `"distance":3`) {
+		t.Errorf("/distance on loaded index = %d %q", status, body)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: 32})
+	status, body := get(t, ts.URL+"/healthz")
+	if status != 200 || body != `{"status":"ok"}`+"\n" {
+		t.Fatalf("/healthz = %d %q", status, body)
+	}
+	get(t, ts.URL+"/distance?s=0&t=3")
+	get(t, ts.URL+"/distance?s=0&t=3")
+	status, body = get(t, ts.URL+"/stats")
+	if status != 200 {
+		t.Fatalf("/stats = %d", status)
+	}
+	var st StatsResult
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 6 || st.Queries != 2 {
+		t.Errorf("stats = %+v, want 6 vertices / 2 queries", st)
+	}
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st.Cache)
+	}
+}
+
+// TestConcurrentClients hammers /distance and /batch from many goroutines
+// (run under -race in CI) and cross-checks every answer against the
+// in-process index.
+func TestConcurrentClients(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 128, Workers: 4})
+	client := ts.Client()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				sv, tv := int32(rng.Intn(6)), int32(rng.Intn(6))
+				if i%2 == 0 {
+					resp, err := client.Get(fmt.Sprintf("%s/distance?s=%d&t=%d", ts.URL, sv, tv))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var dr DistanceResult
+					err = json.NewDecoder(resp.Body).Decode(&dr)
+					resp.Body.Close()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					want, wantOK := s.idx.Distance(sv, tv)
+					if dr.Reachable != wantOK || (wantOK && *dr.Distance != want) {
+						t.Errorf("distance(%d,%d) = %+v, want (%d,%v)", sv, tv, dr, want, wantOK)
+						return
+					}
+				} else {
+					body := fmt.Sprintf(`[[%d,%d],[%d,%d]]`, sv, tv, tv, sv)
+					resp, err := client.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var br BatchResult
+					err = json.NewDecoder(resp.Body).Decode(&br)
+					resp.Body.Close()
+					if err != nil || len(br.Results) != 2 {
+						t.Errorf("batch decode: %v (%d results)", err, len(br.Results))
+						return
+					}
+					want, wantOK := s.idx.Distance(sv, tv)
+					if br.Results[0].Reachable != wantOK || (wantOK && *br.Results[0].Distance != want) {
+						t.Errorf("batch(%d,%d) = %+v, want (%d,%v)", sv, tv, br.Results[0], want, wantOK)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

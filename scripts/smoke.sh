@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke test: generate a synthetic graph, build its
+# index, start hopdb-serve, and check that /distance and /batch answer
+# exactly what hopdb-query answers on the same index. Run from the repo
+# root (CI runs it as a dedicated job); needs curl.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18357}"
+BASE="http://127.0.0.1:$PORT"
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$tmp/bin/" ./cmd/...
+
+echo "== generating and indexing a synthetic graph"
+"$tmp/bin/hopdb-gen" -model glp -n 500 -density 4 -seed 7 -o "$tmp/g.txt"
+"$tmp/bin/hopdb-build" -in "$tmp/g.txt" -o "$tmp/g.idx"
+
+echo "== starting hopdb-serve on $BASE"
+"$tmp/bin/hopdb-serve" -idx "$tmp/g.idx" -addr "127.0.0.1:$PORT" -cache 1000 &
+pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "hopdb-serve died during startup" >&2; exit 1; }
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== querying the same pairs through hopdb-query and the server"
+# Deterministic pair list covering in-range, s==t, and out-of-range ids.
+awk 'BEGIN { for (i = 0; i < 60; i++) print (i * 37) % 500, (i * 91 + 13) % 500; print 3, 3; print 0, 9999 }' >"$tmp/pairs.txt"
+"$tmp/bin/hopdb-query" -idx "$tmp/g.idx" -q "$tmp/pairs.txt" >"$tmp/cli.txt"
+
+# hopdb-query prints "s t d" or "s t unreachable"; render the JSON the
+# server documents for the same answers.
+awk '{
+  if ($3 == "unreachable") printf("{\"s\":%s,\"t\":%s,\"reachable\":false}\n", $1, $2);
+  else printf("{\"s\":%s,\"t\":%s,\"distance\":%s,\"reachable\":true}\n", $1, $2, $3);
+}' "$tmp/cli.txt" >"$tmp/expected.jsonl"
+
+while read -r s t; do
+  curl -fsS "$BASE/distance?s=$s&t=$t"
+done <"$tmp/pairs.txt" >"$tmp/served.jsonl"
+diff -u "$tmp/expected.jsonl" "$tmp/served.jsonl" || { echo "/distance answers diverge from hopdb-query" >&2; exit 1; }
+
+echo "== cross-checking POST /batch"
+awk 'BEGIN { printf("[") } { printf("%s[%s,%s]", NR == 1 ? "" : ",", $1, $2) } END { printf("]") }' "$tmp/pairs.txt" >"$tmp/batch.json"
+printf '{"results":[%s]}\n' "$(paste -sd, "$tmp/expected.jsonl")" >"$tmp/expected_batch.json"
+curl -fsS -X POST --data-binary @"$tmp/batch.json" "$BASE/batch" >"$tmp/served_batch.json"
+diff -u "$tmp/expected_batch.json" "$tmp/served_batch.json" || { echo "/batch answers diverge from hopdb-query" >&2; exit 1; }
+
+echo "== checking /stats and oversized-batch rejection"
+curl -fsS "$BASE/stats" | grep -q '"queries"' || { echo "/stats missing counters" >&2; exit 1; }
+code=$(awk 'BEGIN { printf("["); for (i = 0; i < 10001; i++) printf("%s[1,2]", i ? "," : ""); printf("]") }' \
+  | curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @- "$BASE/batch")
+[ "$code" = "413" ] || { echo "oversized batch returned $code, want 413" >&2; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "smoke OK"
