@@ -1,18 +1,21 @@
 package hopdb
 
-import "sync"
+import (
+	"sync"
 
-// QueryPair is one (source, target) request for DistanceBatch.
-type QueryPair struct {
-	S, T int32
-}
+	"repro/internal/wire"
+)
+
+// QueryPair is one (source, target) request for DistanceBatch. It is the
+// pair type of the Querier batch contract, shared by every backend.
+type QueryPair = wire.QueryPair
 
 // DistanceBatch answers many queries, sharding them across workers
 // goroutines (<= 1 runs serially). Queries run over the immutable flat
 // CSR labels (or the bit-parallel index when enabled), which are
 // read-only during queries, so concurrent access is safe — including on
-// a memory-mapped index from LoadIndexFlat; results[i] corresponds to
-// pairs[i], with Infinity for unreachable pairs. Throughput-oriented
+// a memory-mapped index from Open with WithMmap; results[i] corresponds
+// to pairs[i], with Infinity for unreachable pairs. Throughput-oriented
 // callers (batch analytics, betweenness estimation) should prefer this
 // over a Distance loop.
 func (x *Index) DistanceBatch(pairs []QueryPair, workers int) []uint32 {
@@ -24,36 +27,41 @@ func (x *Index) DistanceBatch(pairs []QueryPair, workers int) []uint32 {
 // servers can recycle buffers across requests instead of allocating per
 // batch. It returns results[:len(pairs)].
 func (x *Index) DistanceBatchInto(results []uint32, pairs []QueryPair, workers int) []uint32 {
-	results = results[:len(pairs)]
-	if len(pairs) == 0 {
-		return results
-	}
-	if workers <= 1 {
+	return batchInto(results, pairs, workers, func(pairs []QueryPair, results []uint32) {
 		for i, p := range pairs {
 			results[i], _ = x.Distance(p.S, p.T)
 		}
+	})
+}
+
+// batchInto is the shared batch skeleton behind every local backend's
+// DistanceBatchInto: it shards pairs into contiguous chunks across up to
+// workers goroutines and invokes run once per chunk (so a backend can
+// hold per-worker scratch state for the whole chunk). run must be safe
+// for concurrent invocation; results[i] answers pairs[i].
+func batchInto(results []uint32, pairs []QueryPair, workers int, run func(pairs []QueryPair, results []uint32)) []uint32 {
+	results = results[:len(pairs)]
+	if len(pairs) == 0 {
 		return results
 	}
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
+	if workers <= 1 {
+		run(pairs, results)
+		return results
+	}
 	var wg sync.WaitGroup
 	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	for lo := 0; lo < len(pairs); lo += chunk {
 		hi := lo + chunk
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				results[i], _ = x.Distance(pairs[i].S, pairs[i].T)
-			}
+			run(pairs[lo:hi], results[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()

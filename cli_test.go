@@ -1,6 +1,7 @@
 package hopdb
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -76,7 +77,10 @@ func TestCLIPipeline(t *testing.T) {
 		cmd := exec.Command(queryBin, args...)
 		cmd.Stdin = strings.NewReader(queries)
 		out, err := cmd.Output()
-		if err != nil {
+		// Exit 1 means some pair was unreachable — a successful run for
+		// this cross-check, which only compares the answers.
+		var ee *exec.ExitError
+		if err != nil && (!errors.As(err, &ee) || ee.ExitCode() != 1) {
 			t.Fatalf("hopdb-query %v: %v", args, err)
 		}
 		return string(out)
@@ -106,5 +110,71 @@ func TestCLIBenchSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "enron") {
 		t.Errorf("bench output unexpected:\n%s", out)
+	}
+}
+
+// TestQueryCLIStdinAndExitCodes pins down the hopdb-query contract:
+// "-q -" (and omitting -q) reads stdin, and the exit status separates
+// all-reachable (0), unreachable pairs present (1), and bad input (3).
+func TestQueryCLIStdinAndExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exit-code test builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	buildBin := buildTool(t, dir, "hopdb-build")
+	queryBin := buildTool(t, dir, "hopdb-query")
+
+	// Two components: 0-1-2 and 3-4.
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(graphPath, []byte("0 1\n1 2\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(dir, "g.idx")
+	if out, err := exec.Command(buildBin, "-in", graphPath, "-o", idxPath).CombinedOutput(); err != nil {
+		t.Fatalf("hopdb-build: %v\n%s", err, out)
+	}
+
+	run := func(stdin string, args ...string) (string, int) {
+		cmd := exec.Command(queryBin, args...)
+		cmd.Stdin = strings.NewReader(stdin)
+		out, err := cmd.Output()
+		code := 0
+		if err != nil {
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("hopdb-query %v: %v", args, err)
+			}
+			code = ee.ExitCode()
+		}
+		return string(out), code
+	}
+
+	// All reachable: exit 0.
+	if out, code := run("0 2\n1 2\n", "-idx", idxPath); code != 0 || out != "0 2 2\n1 2 1\n" {
+		t.Errorf("reachable run = code %d, output %q", code, out)
+	}
+	// Explicit "-q -" stdin convention behaves identically.
+	if out, code := run("0 2\n", "-idx", idxPath, "-q", "-"); code != 0 || out != "0 2 2\n" {
+		t.Errorf(`-q - run = code %d, output %q`, code, out)
+	}
+	// An unreachable pair still answers but exits 1.
+	if out, code := run("0 2\n0 4\n", "-idx", idxPath); code != 1 || !strings.Contains(out, "0 4 unreachable") {
+		t.Errorf("unreachable run = code %d, output %q, want code 1", code, out)
+	}
+	// Malformed input is reported, remaining queries still answer, exit 3.
+	if out, code := run("not a pair\n0 1\n", "-idx", idxPath); code != 3 || !strings.Contains(out, "0 1 1") {
+		t.Errorf("bad-input run = code %d, output %q, want code 3", code, out)
+	}
+	// Bad input outranks unreachable.
+	if _, code := run("garbage\n0 4\n", "-idx", idxPath); code != 3 {
+		t.Errorf("bad-input+unreachable run = code %d, want 3", code)
+	}
+	// A query file that does not exist is a runtime failure, not silence.
+	if _, code := run("", "-idx", idxPath, "-q", filepath.Join(dir, "missing.txt")); code != 3 {
+		t.Errorf("missing query file = code %d, want 3", code)
+	}
+	// Usage errors keep the conventional exit 2.
+	if _, code := run("", "-idx", idxPath, "-disk", idxPath); code != 2 {
+		t.Errorf("conflicting flags = code %d, want 2", code)
 	}
 }

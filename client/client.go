@@ -1,0 +1,310 @@
+// Package client is the remote query backend: a hopdb.Querier that
+// forwards distance queries to a hopdb-serve instance over its versioned
+// /v1 HTTP API, making a served index a drop-in replacement for a local
+// one. Batches use the compact binary encoding by default (8 bytes per
+// pair, zero reflection on either side); set Options.JSONBatch to force
+// JSON.
+//
+// The blessed way to construct one is hopdb.Open with WithRemote:
+//
+//	q, err := hopdb.Open("", hopdb.WithRemote("http://host:8080"))
+//
+// which returns a *Client. Use New directly when the extra error-
+// reporting methods (Lookup, Batch, ServerStats) are wanted without a
+// type assertion.
+//
+// A Client is safe for concurrent use.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// QueryPair is one (source, target) distance request; identical to
+// hopdb.QueryPair.
+type QueryPair = wire.QueryPair
+
+// Infinity is the distance reported for unreachable pairs; identical to
+// hopdb.Infinity.
+const Infinity = wire.Infinity
+
+// Options tunes a Client.
+type Options struct {
+	// HTTPClient overrides the http.Client used for requests. The
+	// default has a 30 second timeout and pools connections per host.
+	HTTPClient *http.Client
+	// JSONBatch sends /v1/batch requests JSON-encoded instead of using
+	// the compact binary encoding (for debugging, or intermediaries that
+	// only pass JSON through).
+	JSONBatch bool
+}
+
+// Client answers distance queries by calling a hopdb-serve instance.
+type Client struct {
+	base  string
+	httpc *http.Client
+	json  bool
+
+	// handshake is the /v1/stats snapshot taken by New: it pins the
+	// vertex count and directedness the Querier contract reports even
+	// when the server is briefly unreachable later.
+	handshake wire.StatsResult
+
+	// bufPool recycles binary batch request bodies so steady-state
+	// batching does not allocate per request.
+	bufPool sync.Pool
+}
+
+// New connects to a hopdb-serve instance at baseURL (e.g.
+// "http://127.0.0.1:8080") and verifies it by fetching /v1/stats. The
+// returned Client implements hopdb.Querier and hopdb.Pather.
+func New(baseURL string, opt Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid server URL %q", baseURL)
+	}
+	httpc := opt.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+			},
+		}
+	}
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		httpc: httpc,
+		json:  opt.JSONBatch,
+	}
+	c.bufPool.New = func() any { return new([]byte) }
+	st, err := c.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("client: handshake with %s failed: %w", c.base, err)
+	}
+	c.handshake = st
+	return c, nil
+}
+
+// Lookup answers one pair with full error reporting: the distance,
+// whether t is reachable from s, and any transport or server error.
+func (c *Client) Lookup(s, t int32) (uint32, bool, error) {
+	var res wire.DistanceResult
+	if err := c.getJSON(fmt.Sprintf("%s/v1/distance?s=%d&t=%d", c.base, s, t), &res); err != nil {
+		return Infinity, false, err
+	}
+	if !res.Reachable || res.Distance == nil {
+		return Infinity, false, nil
+	}
+	return *res.Distance, true, nil
+}
+
+// Distance implements hopdb.Querier. Transport errors are reported as
+// unreachable (Infinity, false); use Lookup to distinguish them.
+func (c *Client) Distance(s, t int32) (uint32, bool) {
+	d, ok, _ := c.Lookup(s, t)
+	return d, ok
+}
+
+// Batch answers many pairs in one round trip; results[i] answers
+// pairs[i], with Infinity for unreachable pairs.
+func (c *Client) Batch(pairs []QueryPair) ([]uint32, error) {
+	return c.BatchInto(make([]uint32, len(pairs)), pairs)
+}
+
+// BatchInto is Batch writing into a caller-provided results slice
+// (len(results) must be >= len(pairs)), recycling buffers across calls.
+func (c *Client) BatchInto(results []uint32, pairs []QueryPair) ([]uint32, error) {
+	results = results[:len(pairs)]
+	if len(pairs) == 0 {
+		return results, nil
+	}
+	if c.json {
+		return c.batchJSON(results, pairs)
+	}
+	return c.batchBinary(results, pairs)
+}
+
+func (c *Client) batchBinary(results []uint32, pairs []QueryPair) ([]uint32, error) {
+	bufp := c.bufPool.Get().(*[]byte)
+	defer c.bufPool.Put(bufp)
+	*bufp = wire.AppendBatchRequest((*bufp)[:0], pairs)
+	resp, err := c.httpc.Post(c.base+"/v1/batch", wire.ContentTypeBinaryBatch, bytes.NewReader(*bufp))
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out, err := wire.DecodeBatchResponse(results, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(pairs) {
+		return nil, fmt.Errorf("client: batch answered %d results for %d pairs", len(out), len(pairs))
+	}
+	return out, nil
+}
+
+func (c *Client) batchJSON(results []uint32, pairs []QueryPair) ([]uint32, error) {
+	arr := make([][2]int32, len(pairs))
+	for i, p := range pairs {
+		arr[i] = [2]int32{p.S, p.T}
+	}
+	body, err := json.Marshal(arr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Post(c.base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var br wire.BatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(pairs) {
+		return nil, fmt.Errorf("client: batch answered %d results for %d pairs", len(br.Results), len(pairs))
+	}
+	for i, r := range br.Results {
+		if r.Reachable && r.Distance != nil {
+			results[i] = *r.Distance
+		} else {
+			results[i] = Infinity
+		}
+	}
+	return results, nil
+}
+
+// DistanceBatchInto implements hopdb.Querier. The whole batch travels in
+// one request — the server fans it out across its own worker pool — so
+// workers is ignored. A failed request answers Infinity for every pair;
+// use BatchInto or LookupBatchInto to observe the error instead.
+func (c *Client) DistanceBatchInto(results []uint32, pairs []QueryPair, workers int) []uint32 {
+	out, err := c.BatchInto(results, pairs)
+	if err != nil {
+		out = results[:len(pairs)]
+		for i := range out {
+			out[i] = Infinity
+		}
+	}
+	return out
+}
+
+// LookupBatchInto implements hopdb.LookupBatcher: BatchInto with the
+// (ignored) workers parameter of the batch contract, reporting transport
+// and server errors instead of swallowing them.
+func (c *Client) LookupBatchInto(results []uint32, pairs []QueryPair, workers int) ([]uint32, error) {
+	return c.BatchInto(results, pairs)
+}
+
+// Path asks the server to reconstruct one shortest path. It returns
+// hopdb.ErrNoGraph when the server has no graph attached and
+// hopdb.ErrUnreachable when no path exists, so callers handle local and
+// remote backends with the same errors.Is checks.
+func (c *Client) Path(s, t int32) ([]int32, error) {
+	resp, err := c.httpc.Get(fmt.Sprintf("%s/v1/path?s=%d&t=%d", c.base, s, t))
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var pr wire.PathResult
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			return nil, err
+		}
+		return pr.Path, nil
+	case http.StatusNotImplemented:
+		return nil, wire.ErrNoGraph
+	case http.StatusNotFound:
+		return nil, wire.ErrUnreachable
+	default:
+		return nil, httpError(resp)
+	}
+}
+
+// ServerStats fetches the server's live /v1/stats snapshot: serving
+// backend kind, uptime, query counters, and cache effectiveness.
+func (c *Client) ServerStats() (wire.StatsResult, error) {
+	var st wire.StatsResult
+	err := c.getJSON(c.base+"/v1/stats", &st)
+	return st, err
+}
+
+// N implements hopdb.Querier with the vertex count pinned at handshake.
+func (c *Client) N() int32 { return c.handshake.Vertices }
+
+// Stats implements hopdb.Querier from the handshake snapshot — a cheap
+// accessor, never a network round trip (the described fields are fixed
+// for the lifetime of the server's index). Use ServerStats for live
+// serving counters.
+func (c *Client) Stats() wire.QuerierStats {
+	st := c.handshake
+	return wire.QuerierStats{
+		Backend:     wire.BackendRemote,
+		Directed:    st.Directed,
+		Vertices:    st.Vertices,
+		Entries:     st.Entries,
+		SizeBytes:   st.SizeBytes,
+		BitParallel: st.BitParallel,
+	}
+}
+
+// Close releases pooled connections. The Client must not be used
+// afterwards.
+func (c *Client) Close() error {
+	c.httpc.CloseIdleConnections()
+	return nil
+}
+
+// getJSON fetches url and decodes a JSON 200 response into v.
+func (c *Client) getJSON(url string, v any) error {
+	resp, err := c.httpc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// httpError turns a non-200 response into an error carrying the server's
+// {"error": ...} message when present.
+func httpError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server returned %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: server returned %s", resp.Status)
+}
+
+// drain consumes and closes the response body so the connection is
+// reusable.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

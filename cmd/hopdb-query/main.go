@@ -1,12 +1,22 @@
 // Command hopdb-query answers point-to-point distance queries against an
-// index built by hopdb-build. Queries are "s t" pairs, one per line, from
-// -q or stdin. With -disk it queries the block-addressable format
-// directly from disk and reports I/O counts.
+// index built by hopdb-build, through the backend-agnostic hopdb.Open
+// entry point. Queries are "s t" pairs, one per line, read from -q (the
+// conventional "-" means stdin, as does omitting -q). With -disk it
+// queries the block-addressable format directly from disk and reports
+// I/O counts; with -mmap it memory-maps the index.
 //
 // Usage:
 //
 //	echo "3 17" | hopdb-query -idx graph.idx
-//	hopdb-query -disk graph.didx -q queries.txt
+//	hopdb-query -idx graph.idx -mmap -q queries.txt
+//	hopdb-query -disk graph.didx -q -     # explicit stdin
+//
+// Exit status:
+//
+//	0  every query answered and reachable
+//	1  at least one pair was unreachable
+//	2  usage error (bad flags)
+//	3  bad input (malformed query lines) or a runtime failure
 package main
 
 import (
@@ -22,55 +32,58 @@ import (
 	hopdb "repro"
 )
 
+// Exit codes; "unreachable" and "bad input" are deliberately distinct so
+// scripts can tell an empty answer from a broken pipeline.
+const (
+	exitOK          = 0
+	exitUnreachable = 1
+	exitUsage       = 2
+	exitBadInput    = 3
+)
+
 func main() {
 	var (
 		idxPath  = flag.String("idx", "", "loadable index file")
 		diskPath = flag.String("disk", "", "disk-query index file")
-		qPath    = flag.String("q", "", "query file (default stdin)")
+		qPath    = flag.String("q", "-", `query file ("-" or empty = stdin)`)
 		cache    = flag.Int("cache", 0, "disk label cache entries")
 		useMmap  = flag.Bool("mmap", false, "memory-map the -idx file (v2 flat format) instead of reading it into memory")
 	)
 	flag.Parse()
 	if (*idxPath == "") == (*diskPath == "") {
 		fmt.Fprintln(os.Stderr, "hopdb-query: exactly one of -idx/-disk is required")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if *useMmap && *idxPath == "" {
 		fmt.Fprintln(os.Stderr, "hopdb-query: -mmap requires -idx")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
-	var query func(s, t int32) (uint32, error)
-	var diskIdx *hopdb.DiskIndex
-	if *idxPath != "" {
-		var (
-			idx *hopdb.Index
-			err error
-		)
-		if *useMmap {
-			idx, err = hopdb.LoadIndexFlat(*idxPath)
-		} else {
-			idx, err = hopdb.LoadIndex(*idxPath)
-		}
-		if err != nil {
-			fail(err)
-		}
-		defer idx.Close()
-		query = func(s, t int32) (uint32, error) {
-			d, _ := idx.Distance(s, t)
-			return d, nil
-		}
-	} else {
-		var err error
-		diskIdx, err = hopdb.OpenDiskIndex(*diskPath, hopdb.DiskOptions{CacheLabels: *cache})
-		if err != nil {
-			fail(err)
-		}
-		defer diskIdx.Close()
-		query = diskIdx.Distance
+
+	path := *idxPath
+	var opts []hopdb.OpenOption
+	if *diskPath != "" {
+		path = *diskPath
+		opts = append(opts, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: *cache}))
+	} else if *useMmap {
+		opts = append(opts, hopdb.WithMmap())
+	}
+	q, err := hopdb.Open(path, opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer q.Close()
+	// Fallible backends (disk) report real failures through Lookup;
+	// those must abort with exit 3, not print "unreachable".
+	lookup := func(s, t int32) (uint32, bool, error) {
+		d, ok := q.Distance(s, t)
+		return d, ok, nil
+	}
+	if lq, ok := q.(hopdb.Lookuper); ok {
+		lookup = lq.Lookup
 	}
 
 	var in io.Reader = os.Stdin
-	if *qPath != "" {
+	if *qPath != "" && *qPath != "-" {
 		f, err := os.Open(*qPath)
 		if err != nil {
 			fail(err)
@@ -80,8 +93,9 @@ func main() {
 	}
 	sc := bufio.NewScanner(in)
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	count := 0
+	badInput := false
+	unreachable := false
 	start := time.Now()
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -89,40 +103,55 @@ func main() {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < 2 {
+		var (
+			s, t int64
+			err1 error
+			err2 error
+		)
+		if len(fields) >= 2 {
+			s, err1 = strconv.ParseInt(fields[0], 10, 32)
+			t, err2 = strconv.ParseInt(fields[1], 10, 32)
+		}
+		if len(fields) < 2 || err1 != nil || err2 != nil {
 			fmt.Fprintf(os.Stderr, "skipping malformed line %q\n", line)
+			badInput = true
 			continue
 		}
-		s, err1 := strconv.ParseInt(fields[0], 10, 32)
-		t, err2 := strconv.ParseInt(fields[1], 10, 32)
-		if err1 != nil || err2 != nil {
-			fmt.Fprintf(os.Stderr, "skipping malformed line %q\n", line)
-			continue
-		}
-		d, err := query(int32(s), int32(t))
+		d, ok, err := lookup(int32(s), int32(t))
 		if err != nil {
+			w.Flush()
 			fail(err)
 		}
-		if d == hopdb.Infinity {
+		if !ok {
+			unreachable = true
 			fmt.Fprintf(w, "%d %d unreachable\n", s, t)
 		} else {
 			fmt.Fprintf(w, "%d %d %d\n", s, t, d)
 		}
 		count++
 	}
-	if err := sc.Err(); err != nil {
-		fail(err)
+	scanErr := sc.Err()
+	w.Flush()
+	if scanErr != nil {
+		fail(scanErr)
 	}
 	elapsed := time.Since(start)
 	if count > 0 {
 		fmt.Fprintf(os.Stderr, "%d queries in %v (%.2f us/query)\n", count, elapsed, elapsed.Seconds()/float64(count)*1e6)
 	}
-	if diskIdx != nil {
-		fmt.Fprintf(os.Stderr, "disk I/O: %d block reads (%.2f per query)\n", diskIdx.IOs(), float64(diskIdx.IOs())/float64(count))
+	if d := hopdb.Disk(q); d != nil && count > 0 {
+		fmt.Fprintf(os.Stderr, "disk I/O: %d block reads (%.2f per query)\n", d.IOs(), float64(d.IOs())/float64(count))
 	}
+	switch {
+	case badInput:
+		os.Exit(exitBadInput)
+	case unreachable:
+		os.Exit(exitUnreachable)
+	}
+	os.Exit(exitOK)
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "hopdb-query:", err)
-	os.Exit(1)
+	os.Exit(exitBadInput)
 }

@@ -1,19 +1,26 @@
-// Command hopdb-serve is the long-lived query server: it loads a
-// hop-doubling label index once (read into memory, or zero-copy mmap'd
-// with -mmap) and answers distance queries over HTTP until shut down.
+// Command hopdb-serve is the long-lived query server: it opens a
+// hop-doubling label index once through hopdb.Open — read into memory,
+// zero-copy mmap'd (-mmap), served straight from the block-addressable
+// disk format (-disk), or even proxied from another hopdb-serve
+// (-remote) — and answers distance queries over the versioned /v1 HTTP
+// API until shut down.
 //
 // Usage:
 //
 //	hopdb-serve -idx graph.idx [-addr :8080] [-cache 100000]
-//	hopdb-serve -idx graph.idx -mmap -graph graph.txt   # enables /path
+//	hopdb-serve -idx graph.idx -mmap -graph graph.txt   # enables /v1/path
+//	hopdb-serve -disk graph.didx -disk-cache 4096       # labels stay on disk
+//	hopdb-serve -remote http://other:8080               # proxy + cache tier
 //
-// Endpoints:
+// Endpoints (also reachable without the /v1 prefix, as legacy aliases):
 //
-//	GET  /distance?s=1&t=2     one pair
-//	POST /batch                JSON array of [s,t] pairs
-//	GET  /path?s=1&t=2         shortest path (needs -graph)
-//	GET  /healthz              liveness
-//	GET  /stats                index size, uptime, QPS, cache hit rate
+//	GET  /v1/distance?s=1&t=2  one pair
+//	POST /v1/batch             JSON array of [s,t] pairs, or the compact
+//	                           binary encoding (Content-Type negotiated)
+//	GET  /v1/path?s=1&t=2      shortest path (needs -graph)
+//	GET  /v1/healthz           liveness
+//	GET  /v1/stats             backend kind, index size, uptime, QPS,
+//	                           cache hit rate
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -37,59 +44,81 @@ import (
 
 func main() {
 	var (
-		idxPath   = flag.String("idx", "", "index file built by hopdb-build (required)")
-		useMmap   = flag.Bool("mmap", false, "memory-map the index (v2 flat format) instead of reading it into memory")
-		graphPath = flag.String("graph", "", "original edge list; attaching it enables /path and -bitparallel")
-		directed  = flag.Bool("directed", false, "treat -graph edges as directed")
-		weighted  = flag.Bool("weighted", false, "read -graph third column as weight")
-		bitpar    = flag.Int("bitparallel", 0, "enable bit-parallel acceleration with this many roots (needs -graph; undirected unweighted only)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		cache     = flag.Int("cache", 0, "distance cache budget in entries (0 disables)")
-		workers   = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
-		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest accepted /batch request, in pairs")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
-		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		idxPath    = flag.String("idx", "", "index file built by hopdb-build (one of -idx/-disk/-remote)")
+		diskPath   = flag.String("disk", "", "disk-query index file built by hopdb-build -disk")
+		remoteURL  = flag.String("remote", "", "upstream hopdb-serve URL to proxy (adds a serving + cache tier)")
+		useMmap    = flag.Bool("mmap", false, "memory-map the -idx file (v2 flat format) instead of reading it into memory")
+		diskLabels = flag.Int("disk-cache", 0, "label lists kept in memory by the -disk backend (0 disables)")
+		graphPath  = flag.String("graph", "", "original edge list; attaching it enables /v1/path and -bitparallel")
+		directed   = flag.Bool("directed", false, "treat -graph edges as directed")
+		weighted   = flag.Bool("weighted", false, "read -graph third column as weight")
+		bitpar     = flag.Int("bitparallel", 0, "enable bit-parallel acceleration with this many roots (needs -graph; undirected unweighted only)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cache      = flag.Int("cache", 0, "distance cache budget in entries (0 disables)")
+		workers    = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", server.DefaultMaxBatch, "largest accepted batch request, in pairs")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
-	if *idxPath == "" {
-		fmt.Fprintln(os.Stderr, "hopdb-serve: -idx is required")
+	sources := 0
+	for _, s := range []string{*idxPath, *diskPath, *remoteURL} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "hopdb-serve: exactly one of -idx/-disk/-remote is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var (
-		idx *hopdb.Index
-		err error
-	)
-	start := time.Now()
-	if *useMmap {
-		idx, err = hopdb.LoadIndexFlat(*idxPath)
-	} else {
-		idx, err = hopdb.LoadIndex(*idxPath)
+	// Assemble the hopdb.Open call the flags describe; every backend
+	// comes back as the same Querier and the server serves it unchanged.
+	path := *idxPath
+	var opts []hopdb.OpenOption
+	switch {
+	case *diskPath != "":
+		path = *diskPath
+		opts = append(opts, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: *diskLabels}))
+	case *remoteURL != "":
+		opts = append(opts, hopdb.WithRemote(*remoteURL))
+	default:
+		if *useMmap {
+			opts = append(opts, hopdb.WithMmap())
+		}
 	}
-	if err != nil {
-		fail(err)
-	}
-	defer idx.Close()
-	log.Printf("loaded %s in %v: %d vertices, %d entries (%d bytes)",
-		*idxPath, time.Since(start).Round(time.Millisecond), idx.N(), idx.Entries(), idx.SizeBytes())
-
 	if *graphPath != "" {
+		if *idxPath == "" {
+			fail(errors.New("-graph needs an in-memory index (-idx)"))
+		}
 		g, err := hopdb.LoadEdgeList(*graphPath, *directed, *weighted)
 		if err != nil {
 			fail(err)
 		}
-		idx.AttachGraph(g)
-		log.Printf("attached graph %s: /path enabled", *graphPath)
+		opts = append(opts, hopdb.WithGraph(g))
 	}
 	if *bitpar > 0 {
-		if err := idx.EnableBitParallel(*bitpar); err != nil {
-			fail(err)
-		}
+		opts = append(opts, hopdb.WithBitParallel(*bitpar))
+	}
+
+	start := time.Now()
+	q, err := hopdb.Open(path, opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer q.Close()
+	st := q.Stats()
+	log.Printf("opened %s backend in %v: %d vertices, %d entries (%d bytes)",
+		st.Backend, time.Since(start).Round(time.Millisecond), st.Vertices, st.Entries, st.SizeBytes)
+	if *graphPath != "" {
+		log.Printf("attached graph %s: /v1/path enabled", *graphPath)
+	}
+	if st.BitParallel {
 		log.Printf("bit-parallel acceleration enabled with %d roots", *bitpar)
 	}
 
-	srv := server.New(idx, server.Config{
+	srv := server.New(q, server.Config{
 		CacheEntries: *cache,
 		MaxBatch:     *maxBatch,
 		Workers:      *workers,
@@ -127,8 +156,8 @@ func main() {
 		}
 		<-done
 	}
-	st := srv.Stats()
-	log.Printf("served %d queries over %.1fs (%.0f qps)", st.Queries, st.UptimeSeconds, st.QPS)
+	fin := srv.Stats()
+	log.Printf("served %d queries over %.1fs (%.0f qps)", fin.Queries, fin.UptimeSeconds, fin.QPS)
 }
 
 func fail(err error) {

@@ -34,15 +34,31 @@
 // and reports block I/O counts. The external builder produces exactly the
 // same index as the in-memory one.
 //
+// # One Querier, every backend
+//
+// A saved index opens for querying through one entry point, Open, in
+// whichever regime the deployment needs — every backend satisfies the
+// same Querier contract and answers identical distances:
+//
+//	q, _ := hopdb.Open("g.idx")                                       // heap
+//	q, _ := hopdb.Open("g.idx", hopdb.WithMmap())                     // memory-mapped, zero-copy
+//	q, _ := hopdb.Open("g.didx", hopdb.WithDisk(hopdb.DiskOptions{})) // disk-resident
+//	q, _ := hopdb.Open("", hopdb.WithRemote("http://host:8080"))      // behind hopdb-serve
+//
+// WithGraph re-attaches the original graph (enabling Path via the Pather
+// interface) and WithBitParallel enables the Section 6 acceleration. The
+// legacy loaders (LoadIndex, LoadIndexFlat, OpenDiskIndex) remain as
+// deprecated wrappers around the same code paths.
+//
 // # Label storage
 //
 // Queries are served from a flat CSR representation (label.FlatIndex):
 // one contiguous entries array per label side addressed by per-vertex
 // offsets, frozen from the mutable slice-of-slices form when construction
 // finishes. Index.Save writes that layout verbatim (the v2 format), so
-// hopdb.LoadIndex re-creates it from a single read with O(1) allocations
-// and hopdb.LoadIndexFlat memory-maps it without copying the payload at
-// all; legacy v1 files still load.
+// Open re-creates it from a single read with O(1) allocations, or
+// memory-maps it without copying the payload at all; legacy v1 files
+// still load.
 //
 // # Beyond distances
 //
@@ -50,7 +66,8 @@
 // descending the distance field. For undirected unweighted graphs,
 // Index.EnableBitParallel folds the top-ranked hub labels into the
 // bit-parallel form of the paper's Section 6, accelerating queries.
-// Index.Save / hopdb.LoadIndex persist indexes; hopdb.OpenDiskIndex
-// answers queries straight from disk, reading only two label blocks per
-// query.
+// Index.SaveDiskIndex writes the block-addressable format that
+// Open(path, WithDisk(...)) serves straight from disk, reading only two
+// label blocks per query; package repro/client serves the same contract
+// over HTTP from a hopdb-serve instance.
 package hopdb

@@ -2,9 +2,66 @@ package hopdb_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	hopdb "repro"
 )
+
+// Open is the single entry point for querying a saved index: the same
+// file serves from the heap, memory-mapped, or (in its disk format) from
+// disk blocks, all through the backend-agnostic Querier contract.
+func Example_open() {
+	b := hopdb.NewGraphBuilder(false, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	dir, err := os.MkdirTemp("", "hopdb-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	idxPath := filepath.Join(dir, "g.idx")
+	diskPath := filepath.Join(dir, "g.didx")
+	if err := idx.Save(idxPath); err != nil {
+		panic(err)
+	}
+	if err := idx.SaveDiskIndex(diskPath); err != nil {
+		panic(err)
+	}
+
+	// Three regimes, one contract, identical answers.
+	backends := []struct {
+		path string
+		opts []hopdb.OpenOption
+	}{
+		{idxPath, nil},
+		{idxPath, []hopdb.OpenOption{hopdb.WithMmap()}},
+		{diskPath, []hopdb.OpenOption{hopdb.WithDisk(hopdb.DiskOptions{})}},
+	}
+	for _, be := range backends {
+		q, err := hopdb.Open(be.path, be.opts...)
+		if err != nil {
+			panic(err)
+		}
+		d, ok := q.Distance(2, 3)
+		fmt.Printf("%s: dist(2,3) = %d %v\n", q.Stats().Backend, d, ok)
+		q.Close()
+	}
+	// Output:
+	// heap: dist(2,3) = 3 true
+	// mmap: dist(2,3) = 3 true
+	// disk: dist(2,3) = 3 true
+}
 
 // Build an index over a small undirected graph and query it.
 func ExampleBuild() {

@@ -6,6 +6,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	hopdb "repro"
 )
@@ -50,4 +52,25 @@ func main() {
 		}
 		fmt.Printf("dist(%d, %d) = %d via %v\n", q[0], q[1], d, path)
 	}
+
+	// Persist the index and reopen it through hopdb.Open, the
+	// backend-agnostic entry point: the loaded Querier answers exactly
+	// what the freshly built index answers.
+	dir, err := os.MkdirTemp("", "hopdb-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	idxPath := filepath.Join(dir, "figure3.idx")
+	if err := idx.Save(idxPath); err != nil {
+		log.Fatal(err)
+	}
+	q, err := hopdb.Open(idxPath, hopdb.WithMmap())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer q.Close()
+	d, ok := q.Distance(4, 2)
+	fmt.Printf("\nreopened via Open(%s backend): dist(4, 2) = %d, reachable=%v\n",
+		q.Stats().Backend, d, ok)
 }

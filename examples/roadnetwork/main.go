@@ -66,18 +66,26 @@ func main() {
 			trip[0], trip[1], d, len(path)-1)
 	}
 
-	// Cross-check the two indexes agree (both are exact).
-	mismatch := 0
+	// Cross-check the two indexes agree (both are exact), through the
+	// backend-agnostic Querier batch contract both satisfy.
+	var pairs []hopdb.QueryPair
 	for s := int32(0); s < g.N(); s += 97 {
 		for t := int32(0); t < g.N(); t += 89 {
-			a, _ := byDegree.Distance(s, t)
-			b, _ := idxCenter.Distance(s, t)
-			if a != b {
-				mismatch++
-			}
+			pairs = append(pairs, hopdb.QueryPair{S: s, T: t})
 		}
 	}
-	fmt.Printf("cross-check: %d mismatches between rankings (both exact)\n", mismatch)
+	answers := func(q hopdb.Querier) []uint32 {
+		return q.DistanceBatchInto(make([]uint32, len(pairs)), pairs, 4)
+	}
+	a, b := answers(byDegree), answers(idxCenter)
+	mismatch := 0
+	for i := range pairs {
+		if a[i] != b[i] {
+			mismatch++
+		}
+	}
+	fmt.Printf("cross-check: %d mismatches between rankings over %d pairs (both exact)\n",
+		mismatch, len(pairs))
 }
 
 // buildWithCenterRank ranks vertices by negative distance-to-center and

@@ -63,17 +63,27 @@ func main() {
 		biDur.Seconds()/idxDur.Seconds())
 
 	// Influencer selection: among candidate accounts, pick the one with
-	// the smallest average distance to a sample of users.
+	// the smallest average distance to a sample of users. The workload
+	// goes through the backend-agnostic Querier batch path (one reused
+	// results buffer, sharded across workers) — swap the index for a
+	// disk or remote backend from hopdb.Open and this code is unchanged.
+	var querier hopdb.Querier = idx
 	candidates := []int32{0, 1, 2, 3, 4, 5, 6, 7}
 	sample := make([]int32, 500)
 	for i := range sample {
 		sample[i] = rng.Int31n(n)
 	}
+	batch := make([]hopdb.QueryPair, len(sample))
+	dists := make([]uint32, len(sample))
 	best, bestAvg := int32(-1), 1e18
 	for _, c := range candidates {
+		for i, u := range sample {
+			batch[i] = hopdb.QueryPair{S: c, T: u}
+		}
+		querier.DistanceBatchInto(dists, batch, 4)
 		total, reached := 0.0, 0
-		for _, u := range sample {
-			if d, ok := idx.Distance(c, u); ok {
+		for _, d := range dists {
+			if d != hopdb.Infinity {
 				total += float64(d)
 				reached++
 			}

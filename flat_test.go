@@ -33,7 +33,7 @@ func TestDistanceBatchRaceFlat(t *testing.T) {
 	var pairs []QueryPair
 	for s := int32(0); s < g.N(); s += 3 {
 		for u := int32(0); u < g.N(); u += 41 {
-			pairs = append(pairs, QueryPair{s, u})
+			pairs = append(pairs, QueryPair{S: s, T: u})
 		}
 	}
 	want := idx.DistanceBatch(pairs, 1)

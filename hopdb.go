@@ -261,7 +261,14 @@ func (x *Index) Save(path string) error {
 // the label payload), and a legacy v1 file is streamed entry-by-entry and
 // frozen. Path reconstruction and bit-parallel transformation are
 // unavailable until the graph is re-attached with AttachGraph.
-func LoadIndex(path string) (*Index, error) {
+//
+// Deprecated: use Open, the backend-agnostic entry point (Open(path) is
+// the heap backend). LoadIndex remains as a thin wrapper and keeps
+// working.
+func LoadIndex(path string) (*Index, error) { return loadIndex(path) }
+
+// loadIndex is the heap loader behind Open and LoadIndex.
+func loadIndex(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -305,7 +312,13 @@ func LoadIndex(path string) (*Index, error) {
 // invariants (a corrupt file fails here, not mid-query); after that the
 // OS keeps labels paged on demand. The returned index is read-only; call
 // Close to release the mapping.
-func LoadIndexFlat(path string) (*Index, error) {
+//
+// Deprecated: use Open(path, WithMmap()). LoadIndexFlat remains as a
+// thin wrapper and keeps working.
+func LoadIndexFlat(path string) (*Index, error) { return loadIndexFlat(path) }
+
+// loadIndexFlat is the mmap loader behind Open and LoadIndexFlat.
+func loadIndexFlat(path string) (*Index, error) {
 	flat, err := label.MmapFlat(path)
 	if err != nil {
 		return nil, err
@@ -338,6 +351,11 @@ type DiskOptions = diskidx.Options
 
 // OpenDiskIndex opens an index written by SaveDiskIndex for querying
 // without loading the labels into memory.
+//
+// Deprecated: use Open(path, WithDisk(opt)), which serves the same file
+// through the backend-agnostic Querier contract (the underlying
+// *DiskIndex stays reachable via Disk). OpenDiskIndex remains as a thin
+// wrapper and keeps working.
 func OpenDiskIndex(path string, opt DiskOptions) (*DiskIndex, error) {
 	return diskidx.Open(path, opt)
 }

@@ -241,7 +241,7 @@ func TestDistanceBatch(t *testing.T) {
 	var pairs []QueryPair
 	for s := int32(0); s < g.N(); s += 11 {
 		for u := int32(0); u < g.N(); u += 13 {
-			pairs = append(pairs, QueryPair{s, u})
+			pairs = append(pairs, QueryPair{S: s, T: u})
 		}
 	}
 	serial := idx.DistanceBatch(pairs, 1)

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // ServeBenchOptions configures the hopdb-serve load generator.
@@ -22,11 +24,14 @@ type ServeBenchOptions struct {
 	Requests int
 	// Concurrency is the number of in-flight client goroutines.
 	Concurrency int
-	// Batch is the pairs per request: <= 1 issues GET /distance,
-	// larger values issue POST /batch with that many pairs.
+	// Batch is the pairs per request: <= 1 issues GET /v1/distance,
+	// larger values issue POST /v1/batch with that many pairs.
 	Batch int
+	// Binary encodes /v1/batch requests with the compact binary encoding
+	// instead of JSON.
+	Binary bool
 	// MaxVertex bounds the random vertex ids; 0 discovers it from
-	// GET /stats.
+	// GET /v1/stats.
 	MaxVertex int32
 	// Seed makes the query workload reproducible.
 	Seed int64
@@ -85,8 +90,16 @@ func RunServeBench(opt ServeBenchOptions) (ServeBenchResult, error) {
 	bodies := make([][]byte, 0, workload)
 	for i := 0; i < workload; i++ {
 		if opt.Batch <= 1 {
-			urls = append(urls, fmt.Sprintf("%s/distance?s=%d&t=%d",
+			urls = append(urls, fmt.Sprintf("%s/v1/distance?s=%d&t=%d",
 				base, rng.Int31n(opt.MaxVertex), rng.Int31n(opt.MaxVertex)))
+			continue
+		}
+		if opt.Binary {
+			pairs := make([]wire.QueryPair, opt.Batch)
+			for j := range pairs {
+				pairs[j] = wire.QueryPair{S: rng.Int31n(opt.MaxVertex), T: rng.Int31n(opt.MaxVertex)}
+			}
+			bodies = append(bodies, wire.AppendBatchRequest(nil, pairs))
 			continue
 		}
 		pairs := make([][2]int32, opt.Batch)
@@ -125,7 +138,11 @@ func RunServeBench(opt ServeBenchOptions) (ServeBenchResult, error) {
 				if opt.Batch <= 1 {
 					resp, err = client.Get(urls[i%int64(len(urls))])
 				} else {
-					resp, err = client.Post(base+"/batch", "application/json",
+					ct := "application/json"
+					if opt.Binary {
+						ct = wire.ContentTypeBinaryBatch
+					}
+					resp, err = client.Post(base+"/v1/batch", ct,
 						bytes.NewReader(bodies[i%int64(len(bodies))]))
 				}
 				if err != nil {
@@ -171,15 +188,15 @@ func RunServeBench(opt ServeBenchOptions) (ServeBenchResult, error) {
 	return res, nil
 }
 
-// discoverVertices asks /stats for the index size.
+// discoverVertices asks /v1/stats for the index size.
 func discoverVertices(client *http.Client, base string) (int32, error) {
-	resp, err := client.Get(base + "/stats")
+	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
-		return 0, fmt.Errorf("bench: querying %s/stats: %w", base, err)
+		return 0, fmt.Errorf("bench: querying %s/v1/stats: %w", base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("bench: %s/stats returned %s", base, resp.Status)
+		return 0, fmt.Errorf("bench: %s/v1/stats returned %s", base, resp.Status)
 	}
 	var st struct {
 		Vertices int32 `json:"vertices"`
@@ -192,9 +209,13 @@ func discoverVertices(client *http.Client, base string) (int32, error) {
 
 // PrintServeBench renders a load-generation run.
 func PrintServeBench(w io.Writer, opt ServeBenchOptions, res ServeBenchResult) {
-	mode := "GET /distance"
+	mode := "GET /v1/distance"
 	if opt.Batch > 1 {
-		mode = fmt.Sprintf("POST /batch x%d", opt.Batch)
+		enc := "json"
+		if opt.Binary {
+			enc = "binary"
+		}
+		mode = fmt.Sprintf("POST /v1/batch x%d (%s)", opt.Batch, enc)
 	}
 	fmt.Fprintf(w, "ServeBench against %s (%s, %d clients)\n", opt.URL, mode, opt.Concurrency)
 	fmt.Fprintf(w, "  %d requests (%d pairs) in %v, %d errors\n",

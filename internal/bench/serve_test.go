@@ -24,25 +24,28 @@ func TestRunServeBench(t *testing.T) {
 	ts := httptest.NewServer(server.New(idx, server.Config{CacheEntries: 256}).Handler())
 	defer ts.Close()
 
-	for _, batch := range []int{1, 16} {
-		res, err := RunServeBench(ServeBenchOptions{
-			URL:         ts.URL,
-			Requests:    40,
-			Concurrency: 4,
-			Batch:       batch,
-			Seed:        9,
-		})
-		if err != nil {
-			t.Fatalf("batch=%d: %v", batch, err)
-		}
-		if res.Requests != 40 || res.Errors != 0 {
-			t.Fatalf("batch=%d: %d requests, %d errors", batch, res.Requests, res.Errors)
-		}
-		if want := int64(40 * batch); res.Pairs != want {
-			t.Fatalf("batch=%d: %d pairs, want %d", batch, res.Pairs, want)
-		}
-		if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
-			t.Fatalf("batch=%d: implausible percentiles %+v", batch, res)
+	for _, binary := range []bool{false, true} {
+		for _, batch := range []int{1, 16} {
+			res, err := RunServeBench(ServeBenchOptions{
+				URL:         ts.URL,
+				Requests:    40,
+				Concurrency: 4,
+				Batch:       batch,
+				Binary:      binary,
+				Seed:        9,
+			})
+			if err != nil {
+				t.Fatalf("batch=%d binary=%v: %v", batch, binary, err)
+			}
+			if res.Requests != 40 || res.Errors != 0 {
+				t.Fatalf("batch=%d binary=%v: %d requests, %d errors", batch, binary, res.Requests, res.Errors)
+			}
+			if want := int64(40 * batch); res.Pairs != want {
+				t.Fatalf("batch=%d binary=%v: %d pairs, want %d", batch, binary, res.Pairs, want)
+			}
+			if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+				t.Fatalf("batch=%d binary=%v: implausible percentiles %+v", batch, binary, res)
+			}
 		}
 	}
 

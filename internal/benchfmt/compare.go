@@ -1,0 +1,125 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+)
+
+// Comparison is the verdict for one benchmark present in both reports.
+type Comparison struct {
+	// Name is the benchmark name (procs suffix stripped).
+	Name string `json:"name"`
+	// BaseNs and NewNs are the compared ns/op values. When a report
+	// holds several entries for one name (e.g. -count 3), the minimum is
+	// used: the fastest observation is the least noisy estimate of what
+	// the code can do.
+	BaseNs float64 `json:"base_ns"`
+	NewNs  float64 `json:"new_ns"`
+	// Ratio is NewNs/BaseNs: > 1 is a slowdown.
+	Ratio float64 `json:"ratio"`
+	// Regressed marks ratios beyond the configured threshold.
+	Regressed bool `json:"regressed"`
+}
+
+// CompareResult summarizes Compare.
+type CompareResult struct {
+	Comparisons []Comparison
+	// Regressions is the subset of Comparisons beyond the threshold.
+	Regressions []Comparison
+	// Notes carries non-fatal observations: benchmarks present on only
+	// one side, or a CPU mismatch that makes absolute times
+	// incomparable.
+	Notes []string
+	// CPUMismatch reports that base and new ran on different hardware;
+	// callers should treat regressions as unreliable and refresh the
+	// baseline instead of failing.
+	CPUMismatch bool
+}
+
+// Compare matches benchmarks by name between a baseline report and a new
+// report and flags every matched benchmark whose ns/op grew by more than
+// maxRegress (0.25 = fail on >25% slowdown). Only names matching match
+// participate (nil matches everything).
+func Compare(base, newRep *Report, match *regexp.Regexp, maxRegress float64) CompareResult {
+	var res CompareResult
+	if base.CPU != "" && newRep.CPU != "" && base.CPU != newRep.CPU {
+		res.CPUMismatch = true
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("cpu mismatch: base ran on %q, new on %q; absolute times are not comparable — refresh the baseline", base.CPU, newRep.CPU))
+	}
+	baseBest := bestByName(base, match)
+	newBest := bestByName(newRep, match)
+	names := make([]string, 0, len(baseBest))
+	for name := range baseBest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := baseBest[name]
+		n, ok := newBest[name]
+		if !ok {
+			res.Notes = append(res.Notes, fmt.Sprintf("benchmark %s missing from new run", name))
+			continue
+		}
+		c := Comparison{Name: name, BaseNs: b, NewNs: n}
+		if b > 0 {
+			c.Ratio = n / b
+			c.Regressed = c.Ratio > 1+maxRegress
+		}
+		res.Comparisons = append(res.Comparisons, c)
+		if c.Regressed {
+			res.Regressions = append(res.Regressions, c)
+		}
+	}
+	for name := range newBest {
+		if _, ok := baseBest[name]; !ok {
+			res.Notes = append(res.Notes, fmt.Sprintf("benchmark %s missing from baseline", name))
+		}
+	}
+	sort.Strings(res.Notes)
+	return res
+}
+
+// bestByName collects the minimum ns/op per benchmark name.
+func bestByName(rep *Report, match *regexp.Regexp) map[string]float64 {
+	best := make(map[string]float64)
+	for _, b := range rep.Benchmarks {
+		if match != nil && !match.MatchString(b.Name) {
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if cur, ok := best[b.Name]; !ok || b.NsPerOp < cur {
+			best[b.Name] = b.NsPerOp
+		}
+	}
+	return best
+}
+
+// PrintCompare renders a comparison as a fixed-width table.
+func PrintCompare(w io.Writer, res CompareResult) {
+	for _, note := range res.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	if len(res.Comparisons) == 0 {
+		fmt.Fprintln(w, "no benchmarks in common")
+		return
+	}
+	width := 0
+	for _, c := range res.Comparisons {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %8s\n", width, "benchmark", "base ns/op", "new ns/op", "ratio")
+	for _, c := range res.Comparisons {
+		mark := ""
+		if c.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-*s  %14.1f  %14.1f  %7.2fx%s\n", width, c.Name, c.BaseNs, c.NewNs, c.Ratio, mark)
+	}
+}

@@ -1,0 +1,96 @@
+package benchfmt
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func report(cpu string, benches ...Benchmark) *Report {
+	return &Report{CPU: cpu, Benchmarks: benches}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := report("cpuA",
+		Benchmark{Name: "BenchmarkDistance/flat", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkLoadIndex/v2", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkOther", NsPerOp: 50},
+	)
+	cur := report("cpuA",
+		Benchmark{Name: "BenchmarkDistance/flat", NsPerOp: 110}, // +10%: fine
+		Benchmark{Name: "BenchmarkLoadIndex/v2", NsPerOp: 1400}, // +40%: regression
+		Benchmark{Name: "BenchmarkOther", NsPerOp: 500},         // excluded by match
+	)
+	match := regexp.MustCompile(`^Benchmark(Distance|LoadIndex)`)
+	res := Compare(base, cur, match, 0.25)
+	if res.CPUMismatch {
+		t.Fatal("same CPU reported as mismatch")
+	}
+	if len(res.Comparisons) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2 (match filter)", len(res.Comparisons))
+	}
+	if len(res.Regressions) != 1 || res.Regressions[0].Name != "BenchmarkLoadIndex/v2" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkLoadIndex/v2", res.Regressions)
+	}
+	if r := res.Regressions[0].Ratio; r < 1.39 || r > 1.41 {
+		t.Errorf("ratio = %v, want ~1.4", r)
+	}
+}
+
+// TestCompareTakesMinAcrossRepeats: with -count N the fastest repeat is
+// the comparison point, so one noisy slow run does not fail CI.
+func TestCompareTakesMinAcrossRepeats(t *testing.T) {
+	base := report("",
+		Benchmark{Name: "BenchmarkDistance", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkDistance", NsPerOp: 90},
+		Benchmark{Name: "BenchmarkDistance", NsPerOp: 300},
+	)
+	cur := report("",
+		Benchmark{Name: "BenchmarkDistance", NsPerOp: 350},
+		Benchmark{Name: "BenchmarkDistance", NsPerOp: 95},
+	)
+	res := Compare(base, cur, nil, 0.25)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("min-of-repeats should compare 95 vs 90, got regressions %+v", res.Regressions)
+	}
+	if c := res.Comparisons[0]; c.BaseNs != 90 || c.NewNs != 95 {
+		t.Errorf("compared %v vs %v, want 90 vs 95", c.BaseNs, c.NewNs)
+	}
+}
+
+func TestCompareCPUMismatchAndMissing(t *testing.T) {
+	base := report("cpuA",
+		Benchmark{Name: "BenchmarkGone", NsPerOp: 10},
+		Benchmark{Name: "BenchmarkShared", NsPerOp: 10},
+	)
+	cur := report("cpuB",
+		Benchmark{Name: "BenchmarkShared", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkNew", NsPerOp: 5},
+	)
+	res := Compare(base, cur, nil, 0.25)
+	if !res.CPUMismatch {
+		t.Error("different CPUs not flagged")
+	}
+	joined := strings.Join(res.Notes, "\n")
+	for _, want := range []string{"cpu mismatch", "BenchmarkGone", "BenchmarkNew"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	// The shared benchmark still compares (callers decide what a
+	// mismatch means).
+	if len(res.Regressions) != 1 {
+		t.Errorf("regressions = %+v", res.Regressions)
+	}
+}
+
+func TestPrintCompare(t *testing.T) {
+	base := report("", Benchmark{Name: "BenchmarkA", NsPerOp: 100})
+	cur := report("", Benchmark{Name: "BenchmarkA", NsPerOp: 200})
+	var sb strings.Builder
+	PrintCompare(&sb, Compare(base, cur, nil, 0.25))
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkA") || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("unexpected table:\n%s", out)
+	}
+}

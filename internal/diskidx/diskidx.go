@@ -7,17 +7,25 @@
 // Reads are counted in blocks of BlockBytes so benchmarks can report the
 // I/O cost alongside wall-clock time, and an optional LRU label cache
 // models the effect of a small query-time buffer pool.
+//
+// A DiskIndex is safe for concurrent use: queries go through ReadAt on a
+// shared file handle, the I/O counter is atomic, and the label cache is
+// mutex-guarded. Throughput callers should give each worker its own
+// Scratch so repeated queries reuse read and decode buffers instead of
+// allocating per label list.
 package diskidx
 
 import (
-	"container/list"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/label"
+	"repro/internal/lru"
 )
 
 const (
@@ -176,7 +184,7 @@ type DiskIndex struct {
 	inBase   int64
 	opt      Options
 
-	ios   int64
+	ios   atomic.Int64
 	cache *lruCache
 }
 
@@ -270,17 +278,56 @@ func (d *DiskIndex) N() int32 { return d.n }
 // Directed reports the indexed graph's directedness.
 func (d *DiskIndex) Directed() bool { return d.directed }
 
+// Weighted reports whether the indexed graph had explicit weights.
+func (d *DiskIndex) Weighted() bool { return d.weighted }
+
+// Entries returns the total number of stored label entries. O(1): the
+// offset tables are resident.
+func (d *DiskIndex) Entries() int64 {
+	width := uint64(entryBytes)
+	if d.compact {
+		width = compactEntryBytes
+	}
+	total := d.outOff[d.n] / width
+	if d.directed {
+		total += d.inOff[d.n] / width
+	}
+	return int64(total)
+}
+
+// SizeBytes returns the on-disk size of the label entry sections.
+func (d *DiskIndex) SizeBytes() int64 {
+	total := d.outOff[d.n]
+	if d.directed {
+		total += d.inOff[d.n]
+	}
+	return int64(total)
+}
+
 // IOs returns the number of block reads performed so far.
-func (d *DiskIndex) IOs() int64 { return d.ios }
+func (d *DiskIndex) IOs() int64 { return d.ios.Load() }
 
 // ResetIOs zeroes the I/O counter.
-func (d *DiskIndex) ResetIOs() { d.ios = 0 }
+func (d *DiskIndex) ResetIOs() { d.ios.Store(0) }
 
 // Close releases the file handle.
 func (d *DiskIndex) Close() error { return d.f.Close() }
 
-// loadLabel fetches one label list from disk (or cache).
-func (d *DiskIndex) loadLabel(out bool, v int32) ([]label.Entry, error) {
+// Scratch holds reusable read and decode buffers for repeated queries.
+// Passing the same Scratch to DistanceScratch keeps a query loop at O(1)
+// steady-state allocations (when the label cache is disabled; cached
+// lists must own their memory and are always freshly allocated). A
+// Scratch must not be shared between concurrent queries: give each worker
+// its own.
+type Scratch struct {
+	raw [2][]byte
+	dec [2][]label.Entry
+}
+
+// loadLabel fetches one label list from disk (or cache). slot selects
+// which scratch buffers to decode into (0 = out side, 1 = in side) so one
+// query's two lists coexist; sc == nil allocates fresh.
+func (d *DiskIndex) loadLabel(out bool, v int32, sc *Scratch, slot int) ([]label.Entry, error) {
 	key := int64(v) << 1
 	if out {
 		key |= 1
@@ -301,7 +348,15 @@ func (d *DiskIndex) loadLabel(out bool, v int32) ([]label.Entry, error) {
 	if length == 0 {
 		return nil, nil
 	}
-	buf := make([]byte, length)
+	var buf []byte
+	if sc != nil {
+		if int64(cap(sc.raw[slot])) < length {
+			sc.raw[slot] = make([]byte, length)
+		}
+		buf = sc.raw[slot][:length]
+	} else {
+		buf = make([]byte, length)
+	}
 	if _, err := d.f.ReadAt(buf, start); err != nil {
 		return nil, err
 	}
@@ -310,13 +365,23 @@ func (d *DiskIndex) loadLabel(out bool, v int32) ([]label.Entry, error) {
 	bb := int64(d.opt.BlockBytes)
 	firstBlock := start / bb
 	lastBlock := (start + length - 1) / bb
-	d.ios += lastBlock - firstBlock + 1
+	d.ios.Add(lastBlock - firstBlock + 1)
 
 	width := entryBytes
 	if d.compact {
 		width = compactEntryBytes
 	}
-	l := make([]label.Entry, int(length)/width)
+	count := int(length) / width
+	var l []label.Entry
+	if sc != nil && d.cache == nil {
+		if cap(sc.dec[slot]) < count {
+			sc.dec[slot] = make([]label.Entry, count)
+		}
+		l = sc.dec[slot][:count]
+	} else {
+		// Cached lists outlive the call, so they never alias the scratch.
+		l = make([]label.Entry, count)
+	}
 	for i := range l {
 		l[i].Pivot = int32(binary.LittleEndian.Uint32(buf[i*width:]))
 		if d.compact {
@@ -333,6 +398,13 @@ func (d *DiskIndex) loadLabel(out bool, v int32) ([]label.Entry, error) {
 
 // Distance answers a point-to-point query in original vertex ids.
 func (d *DiskIndex) Distance(s, t int32) (uint32, error) {
+	return d.DistanceScratch(s, t, nil)
+}
+
+// DistanceScratch is Distance reusing sc's buffers for the disk reads and
+// entry decoding, so batch-serving callers avoid two allocations per
+// query. sc may be nil; it must not be shared across concurrent calls.
+func (d *DiskIndex) DistanceScratch(s, t int32, sc *Scratch) (uint32, error) {
 	if s < 0 || t < 0 || s >= d.n || t >= d.n {
 		return graph.Infinity, nil
 	}
@@ -342,52 +414,38 @@ func (d *DiskIndex) Distance(s, t int32) (uint32, error) {
 	if s == t {
 		return 0, nil
 	}
-	outS, err := d.loadLabel(true, s)
+	outS, err := d.loadLabel(true, s, sc, 0)
 	if err != nil {
 		return 0, err
 	}
-	inT, err := d.loadLabel(false, t)
+	inT, err := d.loadLabel(false, t, sc, 1)
 	if err != nil {
 		return 0, err
 	}
 	return label.MergeDistance(outS, inT, s, t), nil
 }
 
-// lruCache is a minimal LRU over label lists.
+// lruCache is a mutex-guarded LRU over label lists (the shared
+// internal/lru core plus locking), so a cached DiskIndex can serve
+// concurrent queries (e.g. a batch sharded across workers, or a query
+// server).
 type lruCache struct {
-	cap   int
-	ll    *list.List
-	items map[int64]*list.Element
-}
-
-type lruItem struct {
-	key int64
-	val []label.Entry
+	mu sync.Mutex
+	c  *lru.Cache[int64, []label.Entry]
 }
 
 func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[int64]*list.Element)}
+	return &lruCache{c: lru.New[int64, []label.Entry](capacity)}
 }
 
 func (c *lruCache) get(key int64) ([]label.Entry, bool) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		return el.Value.(*lruItem).val, true
-	}
-	return nil, false
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Get(key)
 }
 
 func (c *lruCache) put(key int64, val []label.Entry) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*lruItem).val = val
-		return
-	}
-	el := c.ll.PushFront(&lruItem{key, val})
-	c.items[key] = el
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruItem).key)
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.c.Put(key, val)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/sp"
+	"sync"
 )
 
 func buildAndWrite(t *testing.T, directed, weighted bool, seed int64) (string, *graph.Graph) {
@@ -270,5 +271,123 @@ func TestCompactEncoding(t *testing.T) {
 				t.Fatalf("wide dist(%d,%d) = %d, want %d", s, u, got, want)
 			}
 		}
+	}
+}
+
+// TestScratchQueriesMatch checks the scratch-buffer path answers exactly
+// what the allocating path answers, with and without the label cache, and
+// that a scratch query loop stops allocating once the buffers are warm.
+func TestScratchQueriesMatch(t *testing.T) {
+	for _, cacheLabels := range []int{0, 64} {
+		path, g := buildAndWrite(t, true, false, 21)
+		d, err := Open(path, Options{CacheLabels: cacheLabels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc Scratch
+		for s := int32(0); s < g.N(); s += 2 {
+			for u := int32(0); u < g.N(); u += 3 {
+				want, err := d.Distance(s, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.DistanceScratch(s, u, &sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("cache=%d: scratch dist(%d,%d) = %d, want %d",
+						cacheLabels, s, u, got, want)
+				}
+			}
+		}
+		if cacheLabels == 0 {
+			// Warm scratch: repeated queries must not allocate.
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := d.DistanceScratch(1, 2, &sc); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("warm scratch query allocates %v times, want 0", allocs)
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestConcurrentDiskQueries hammers one cached DiskIndex from many
+// goroutines (run under -race in CI) and cross-checks the answers.
+func TestConcurrentDiskQueries(t *testing.T) {
+	path, g := buildAndWrite(t, false, false, 23)
+	d, err := Open(path, Options{CacheLabels: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	truth := sp.AllPairs(g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			var sc Scratch
+			for i := int32(0); i < 200; i++ {
+				s := (seed*31 + i*17) % g.N()
+				u := (seed*13 + i*29) % g.N()
+				got, err := d.DistanceScratch(s, u, &sc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != truth[s][u] {
+					t.Errorf("concurrent dist(%d,%d) = %d, want %d", s, u, got, truth[s][u])
+					return
+				}
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+	if d.IOs() == 0 {
+		t.Error("no I/Os recorded under concurrency")
+	}
+}
+
+// TestDiskStatAccessors checks Entries/SizeBytes/Weighted against the
+// in-memory index the file was written from.
+func TestDiskStatAccessors(t *testing.T) {
+	g0, err := gen.ER(60, 160, true, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.WithRandomWeights(g0, 8, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx")
+	if err := Write(path, x); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if !d.Weighted() {
+		t.Error("Weighted() = false for a weighted index")
+	}
+	if d.Entries() != x.Entries() {
+		t.Errorf("Entries() = %d, want %d", d.Entries(), x.Entries())
+	}
+	width := int64(entryBytes)
+	if d.compact {
+		width = compactEntryBytes
+	}
+	if d.SizeBytes() != x.Entries()*width {
+		t.Errorf("SizeBytes() = %d, want %d", d.SizeBytes(), x.Entries()*width)
 	}
 }

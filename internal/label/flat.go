@@ -43,6 +43,10 @@ type FlatIndex struct {
 	mapped []byte
 }
 
+// Mapped reports whether the index aliases a read-only memory-mapped
+// file (opened with MmapFlat) rather than heap arrays.
+func (f *FlatIndex) Mapped() bool { return f.mapped != nil }
+
 // Freeze converts a finished slice-of-slices index into its CSR form. The
 // entries are copied into contiguous arrays; the source index is left
 // untouched. Perm/Inv are shared, not copied.

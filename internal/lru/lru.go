@@ -1,0 +1,64 @@
+// Package lru is the one LRU implementation behind every query-time
+// cache in the repo: the server's sharded distance cache and the disk
+// index's label cache both layer their own keying, locking, and counters
+// over this core, so recency and eviction logic exists exactly once.
+package lru
+
+import "container/list"
+
+// Cache is a minimal fixed-capacity LRU. It is not safe for concurrent
+// use; callers own the locking (a mutex per cache, or one per shard).
+type Cache[K comparable, V any] struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache evicting beyond capacity entries (capacity >= 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value for k and whether it was present, promoting it
+// to most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put records k=v, promoting an existing entry and evicting the least
+// recently used entry when the cache is at capacity.
+func (c *Cache[K, V]) Put(k K, v V) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry[K, V]).key)
+		}
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return c.ll.Len() }
+
+// Cap returns the eviction capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }

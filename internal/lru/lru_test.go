@@ -1,0 +1,58 @@
+package lru
+
+import "testing"
+
+func TestGetPutEvict(t *testing.T) {
+	c := New[int, string](2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	// 1 was just promoted, so inserting 3 evicts 2.
+	c.Put(3, "c")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("promoted entry evicted: %q, %v", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != "c" {
+		t.Fatalf("Get(3) = %q, %v", v, ok)
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("Len/Cap = %d/%d, want 2/2", c.Len(), c.Cap())
+	}
+}
+
+func TestPutUpdatesAndPromotes(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Put(1, 11) // update + promote
+	c.Put(3, 30) // evicts 2, not 1
+	if v, ok := c.Get(1); !ok || v != 11 {
+		t.Fatalf("Get(1) = %d, %v, want updated 11", v, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New[string, int](1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("Get(b) = %d, %v", v, ok)
+	}
+}

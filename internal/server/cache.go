@@ -1,9 +1,10 @@
 package server
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/lru"
 )
 
 // cacheShards is the fixed shard count of the distance cache. Sixteen
@@ -12,7 +13,8 @@ import (
 // mixed hash of the pair key so skewed workloads still spread out.
 const cacheShards = 16
 
-// distCache is a sharded LRU cache of answered distance queries. It sits
+// distCache is a sharded LRU cache of answered distance queries (each
+// shard layering a mutex over the shared internal/lru core). It sits
 // in front of the label merge join for skewed (power-law) query
 // workloads, where a small set of hot pairs dominates traffic. Both
 // reachable distances and Infinity (unreachable) answers are cached —
@@ -25,15 +27,8 @@ type distCache struct {
 }
 
 type cacheShard struct {
-	mu  sync.Mutex
-	cap int
-	m   map[uint64]*list.Element
-	ll  *list.List // front = most recently used
-}
-
-type cacheEntry struct {
-	key  uint64
-	dist uint32
+	mu sync.Mutex
+	c  *lru.Cache[uint64, uint32]
 }
 
 // newDistCache builds a cache holding about `entries` pairs in total.
@@ -45,11 +40,7 @@ func newDistCache(entries int, undirected bool) *distCache {
 	perShard := (entries + cacheShards - 1) / cacheShards
 	c := &distCache{undirected: undirected}
 	for i := range c.shards {
-		c.shards[i] = cacheShard{
-			cap: perShard,
-			m:   make(map[uint64]*list.Element, perShard),
-			ll:  list.New(),
-		}
+		c.shards[i].c = lru.New[uint64, uint32](perShard)
 	}
 	return c
 }
@@ -76,15 +67,12 @@ func (c *distCache) get(s, t int32) (uint32, bool) {
 	key := c.pairKey(s, t)
 	sh := c.shardOf(key)
 	sh.mu.Lock()
-	el, ok := sh.m[key]
+	d, ok := sh.c.Get(key)
+	sh.mu.Unlock()
 	if ok {
-		sh.ll.MoveToFront(el)
-		d := el.Value.(*cacheEntry).dist
-		sh.mu.Unlock()
 		c.hits.Add(1)
 		return d, true
 	}
-	sh.mu.Unlock()
 	c.misses.Add(1)
 	return 0, false
 }
@@ -95,20 +83,7 @@ func (c *distCache) put(s, t int32, d uint32) {
 	key := c.pairKey(s, t)
 	sh := c.shardOf(key)
 	sh.mu.Lock()
-	if el, ok := sh.m[key]; ok {
-		el.Value.(*cacheEntry).dist = d
-		sh.ll.MoveToFront(el)
-		sh.mu.Unlock()
-		return
-	}
-	if sh.ll.Len() >= sh.cap {
-		oldest := sh.ll.Back()
-		if oldest != nil {
-			sh.ll.Remove(oldest)
-			delete(sh.m, oldest.Value.(*cacheEntry).key)
-		}
-	}
-	sh.m[key] = sh.ll.PushFront(&cacheEntry{key: key, dist: d})
+	sh.c.Put(key, d)
 	sh.mu.Unlock()
 }
 
@@ -118,7 +93,7 @@ func (c *distCache) len() int {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		total += sh.ll.Len()
+		total += sh.c.Len()
 		sh.mu.Unlock()
 	}
 	return total
@@ -128,7 +103,7 @@ func (c *distCache) len() int {
 func (c *distCache) capacity() int {
 	total := 0
 	for i := range c.shards {
-		total += c.shards[i].cap
+		total += c.shards[i].c.Cap()
 	}
 	return total
 }

@@ -1,42 +1,51 @@
 // Package server implements the hopdb query service: an HTTP front end
-// that answers point-to-point distance queries from a single shared
-// hop-doubling label index (see cmd/hopdb-serve).
+// that answers point-to-point distance queries from any hopdb.Querier —
+// a heap or memory-mapped index, the block-addressable disk format, or
+// even another server through the remote client — behind one versioned
+// API (see cmd/hopdb-serve).
 //
-// The hot path is contention-free by construction — the label arrays are
-// immutable (possibly mmap'd) and hopdb.Index is safe for concurrent
-// queries — so the server adds only per-request state, drawn from a
-// sync.Pool, plus an optional sharded LRU cache of answered pairs for
-// skewed workloads.
+// The hot path adds only per-request state, drawn from a sync.Pool, plus
+// an optional sharded LRU cache of answered pairs for skewed workloads;
+// every Querier backend is safe for concurrent queries by contract.
 //
-// Endpoints and their JSON shapes:
+// Endpoints (all under /v1; the unversioned paths from the first release
+// remain as aliases) and their JSON shapes:
 //
-//	GET  /distance?s=1&t=2 -> {"s":1,"t":2,"distance":3,"reachable":true}
-//	                          {"s":1,"t":9,"reachable":false}          (unreachable: distance omitted)
-//	POST /batch  [[1,2],[3,4]] -> {"results":[{...},{...}]}            (same shape per pair)
-//	GET  /path?s=1&t=2 -> {"s":1,"t":2,"distance":3,"path":[1,7,4,2]}  (needs an attached graph)
-//	GET  /healthz -> {"status":"ok"}
-//	GET  /stats -> index size, uptime, query counters, cache hit rate
+//	GET  /v1/distance?s=1&t=2 -> {"s":1,"t":2,"distance":3,"reachable":true}
+//	                             {"s":1,"t":9,"reachable":false}         (unreachable: distance omitted)
+//	POST /v1/batch  [[1,2],[3,4]] -> {"results":[{...},{...}]}           (same shape per pair)
+//	POST /v1/batch  (Content-Type: application/x-hopdb-batch)            (compact binary, answered in kind)
+//	GET  /v1/path?s=1&t=2 -> {"s":1,"t":2,"distance":3,"path":[1,7,4,2]} (needs a Pather backend)
+//	GET  /v1/healthz -> {"status":"ok"}
+//	GET  /v1/stats -> backend kind, index size, uptime, query counters,
+//	                  cache hit rate (cache section omitted when disabled)
 //
 // Errors are always {"error":"..."} with a matching HTTP status: 400 for
-// malformed input, 404 for an unreachable /path pair, 405 for a wrong
-// method, 413 for an oversized batch, 501 for /path without a graph.
+// malformed input, 404 for an unreachable /v1/path pair, 405 for a wrong
+// method, 413 for an oversized batch, 501 for /v1/path on a backend
+// without path reconstruction, and 502 when a fallible backend (disk,
+// remote) fails to answer — never a fabricated "unreachable", and never
+// a cached one.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	hopdb "repro"
+	"repro/internal/wire"
 )
 
-// DefaultMaxBatch caps /batch requests when Config.MaxBatch is zero.
+// DefaultMaxBatch caps /v1/batch requests when Config.MaxBatch is zero.
 const DefaultMaxBatch = 10000
 
 // Config tunes a Server.
@@ -44,19 +53,22 @@ type Config struct {
 	// CacheEntries is the distance cache budget in entries (pairs);
 	// 0 disables the cache.
 	CacheEntries int
-	// MaxBatch is the largest accepted /batch request, in pairs
+	// MaxBatch is the largest accepted /v1/batch request, in pairs
 	// (default DefaultMaxBatch). Larger batches get HTTP 413.
 	MaxBatch int
-	// Workers is the fan-out of a /batch request across goroutines
+	// Workers is the fan-out of a /v1/batch request across goroutines
 	// (default GOMAXPROCS).
 	Workers int
 	// Timeout bounds request handling end-to-end; 0 disables it.
 	Timeout time.Duration
 }
 
-// Server answers distance queries over HTTP from one shared index.
+// Server answers distance queries over HTTP from one shared Querier.
 type Server struct {
-	idx     *hopdb.Index
+	q       hopdb.Querier
+	lookup  hopdb.Lookuper      // non-nil when q reports per-query errors
+	blookup hopdb.LookupBatcher // non-nil when q reports batch errors
+	backend hopdb.QuerierStats  // snapshot at startup (backend kind, directedness)
 	cfg     Config
 	cache   *distCache // nil when disabled
 	start   time.Time
@@ -65,7 +77,7 @@ type Server struct {
 	handler http.Handler
 }
 
-// jsonPair decodes one [s,t] element of a /batch request, rejecting
+// jsonPair decodes one [s,t] element of a /v1/batch request, rejecting
 // anything but exactly two numbers — the stock [2]int32 decoding would
 // silently zero-pad [[5]] and drop the tail of [[1,2,9]], turning client
 // typos into confidently wrong answers.
@@ -83,12 +95,13 @@ func (p *jsonPair) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// queryCtx is the pooled per-request scratch: decode buffer, converted
+// queryCtx is the pooled per-request scratch: decode buffers, converted
 // pairs, result distances, and the cache-miss index lists. Pooling it
-// keeps steady-state /batch handling at O(1) allocations regardless of
-// batch size.
+// keeps steady-state /v1/batch handling at O(1) allocations regardless
+// of batch size.
 type queryCtx struct {
 	raw       []jsonPair
+	bin       []byte // binary request/response scratch
 	pairs     []hopdb.QueryPair
 	dists     []uint32
 	missPairs []hopdb.QueryPair
@@ -97,29 +110,41 @@ type queryCtx struct {
 	results   []DistanceResult
 }
 
-// New wraps idx in a Server. The index must already be fully initialized
+// New wraps q in a Server. The backend must already be fully initialized
 // (graph attached, bit-parallel enabled) before serving starts.
-func New(idx *hopdb.Index, cfg Config) *Server {
+func New(q hopdb.Querier, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	backend := q.Stats()
 	s := &Server{
-		idx:   idx,
-		cfg:   cfg,
-		cache: newDistCache(cfg.CacheEntries, !idx.Flat().Directed),
-		start: time.Now(),
+		q:       q,
+		backend: backend,
+		cfg:     cfg,
+		cache:   newDistCache(cfg.CacheEntries, !backend.Directed),
+		start:   time.Now(),
 	}
+	// Fallible backends (disk, remote) expose per-query errors through
+	// the Lookuper extension; using it keeps an I/O or transport failure
+	// out of the distance cache and turns it into a 502 instead of a
+	// confidently wrong "unreachable".
+	s.lookup, _ = q.(hopdb.Lookuper)
+	s.blookup, _ = q.(hopdb.LookupBatcher)
 	s.ctxPool.New = func() any { return &queryCtx{} }
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/distance", s.handleDistance)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/path", s.handlePath)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	// The versioned surface, plus the unversioned aliases the first
+	// release shipped: same handlers, so the two stay byte-identical.
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc(prefix+"/distance", s.handleDistance)
+		mux.HandleFunc(prefix+"/batch", s.handleBatch)
+		mux.HandleFunc(prefix+"/path", s.handlePath)
+		mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
+		mux.HandleFunc(prefix+"/stats", s.handleStats)
+	}
 	var h http.Handler = mux
 	if cfg.Timeout > 0 {
 		h = http.TimeoutHandler(h, cfg.Timeout, `{"error":"request timed out"}`)
@@ -134,69 +159,70 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // DistanceResult is the JSON answer for one query pair. Distance is a
 // pointer so unreachable pairs omit the field instead of reporting a
 // bogus zero (and s==t still reports an explicit 0).
-type DistanceResult struct {
-	S         int32   `json:"s"`
-	T         int32   `json:"t"`
-	Distance  *uint32 `json:"distance,omitempty"`
-	Reachable bool    `json:"reachable"`
-}
+type DistanceResult = wire.DistanceResult
 
-// BatchResult is the JSON answer for a /batch request; results[i]
+// BatchResult is the JSON answer for a /v1/batch request; results[i]
 // answers pairs[i].
-type BatchResult struct {
-	Results []DistanceResult `json:"results"`
+type BatchResult = wire.BatchResult
+
+// PathResult is the JSON answer for a /v1/path request.
+type PathResult = wire.PathResult
+
+// StatsResult is the JSON answer for /v1/stats.
+type StatsResult = wire.StatsResult
+
+// CacheStats reports distance-cache effectiveness in /v1/stats.
+type CacheStats = wire.CacheStats
+
+// queryOne answers one pair from the backend, reporting a failure when
+// the backend can (Lookuper).
+func (s *Server) queryOne(sv, tv int32) (uint32, error) {
+	if s.lookup != nil {
+		d, _, err := s.lookup.Lookup(sv, tv)
+		return d, err
+	}
+	d, _ := s.q.Distance(sv, tv)
+	return d, nil
 }
 
-// PathResult is the JSON answer for a /path request.
-type PathResult struct {
-	S        int32   `json:"s"`
-	T        int32   `json:"t"`
-	Distance uint32  `json:"distance"`
-	Path     []int32 `json:"path"`
+// queryBatch answers pairs into dists through the backend's batch path,
+// reporting a failure when the backend can (LookupBatcher).
+func (s *Server) queryBatch(dists []uint32, pairs []hopdb.QueryPair) error {
+	if s.blookup != nil {
+		_, err := s.blookup.LookupBatchInto(dists, pairs, s.cfg.Workers)
+		return err
+	}
+	s.q.DistanceBatchInto(dists, pairs, s.cfg.Workers)
+	return nil
 }
 
-// StatsResult is the JSON answer for /stats.
-type StatsResult struct {
-	Vertices      int32       `json:"vertices"`
-	Entries       int64       `json:"entries"`
-	SizeBytes     int64       `json:"size_bytes"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Queries       int64       `json:"queries"`
-	QPS           float64     `json:"qps"`
-	Cache         *CacheStats `json:"cache,omitempty"`
-}
-
-// CacheStats reports distance-cache effectiveness in /stats.
-type CacheStats struct {
-	Capacity int     `json:"capacity"`
-	Entries  int     `json:"entries"`
-	Hits     int64   `json:"hits"`
-	Misses   int64   `json:"misses"`
-	HitRate  float64 `json:"hit_rate"`
-}
-
-// distance answers one pair through the cache (when enabled).
-func (s *Server) distance(sv, tv int32) uint32 {
+// distance answers one pair through the cache (when enabled). Failed
+// queries are never cached: a transport or I/O error must not be served
+// as a durable "unreachable" after the backend recovers.
+func (s *Server) distance(sv, tv int32) (uint32, error) {
 	if s.cache != nil {
 		if d, ok := s.cache.get(sv, tv); ok {
-			return d
+			return d, nil
 		}
 	}
-	d, _ := s.idx.Distance(sv, tv)
+	d, err := s.queryOne(sv, tv)
+	if err != nil {
+		return d, err
+	}
 	if s.cache != nil {
 		s.cache.put(sv, tv, d)
 	}
-	return d
+	return d, nil
 }
 
 // distanceBatch answers pairs into dists (len(dists) == len(pairs)),
 // checking the cache first and sharding the misses across the worker
-// pool via DistanceBatchInto.
-func (s *Server) distanceBatch(qc *queryCtx) {
+// pool via the backend's batch path. On a backend failure nothing is
+// cached and the error is reported.
+func (s *Server) distanceBatch(qc *queryCtx) error {
 	pairs, dists := qc.pairs, qc.dists
 	if s.cache == nil {
-		s.idx.DistanceBatchInto(dists, pairs, s.cfg.Workers)
-		return
+		return s.queryBatch(dists, pairs)
 	}
 	qc.missPairs = qc.missPairs[:0]
 	qc.missIdx = qc.missIdx[:0]
@@ -209,17 +235,20 @@ func (s *Server) distanceBatch(qc *queryCtx) {
 		}
 	}
 	if len(qc.missPairs) == 0 {
-		return
+		return nil
 	}
 	if cap(qc.missDists) < len(qc.missPairs) {
 		qc.missDists = make([]uint32, len(qc.missPairs))
 	}
 	qc.missDists = qc.missDists[:len(qc.missPairs)]
-	s.idx.DistanceBatchInto(qc.missDists, qc.missPairs, s.cfg.Workers)
+	if err := s.queryBatch(qc.missDists, qc.missPairs); err != nil {
+		return err
+	}
 	for j, i := range qc.missIdx {
 		dists[i] = qc.missDists[j]
 		s.cache.put(pairs[i].S, pairs[i].T, qc.missDists[j])
 	}
+	return nil
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
@@ -230,7 +259,11 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d := s.distance(sv, tv)
+	d, err := s.distance(sv, tv)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "backend query failed: "+err.Error())
+		return
+	}
 	s.queries.Add(1)
 	res := DistanceResult{S: sv, T: tv, Reachable: d != hopdb.Infinity}
 	if res.Reachable {
@@ -243,6 +276,75 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, found := strings.Cut(ct, ";"); found {
+		ct = mt
+	}
+	if strings.TrimSpace(ct) == wire.ContentTypeBinaryBatch {
+		s.handleBatchBinary(w, r)
+		return
+	}
+	s.handleBatchJSON(w, r)
+}
+
+// handleBatchBinary answers a compact-binary batch (see internal/wire)
+// in kind: fixed 8 bytes per pair in, 4 bytes per result out.
+func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
+	qc := s.ctxPool.Get().(*queryCtx)
+	defer s.ctxPool.Put(qc)
+
+	// The encoding is fixed-width, so the body bound is exact: header
+	// plus MaxBatch pairs.
+	maxBody := int64(s.cfg.MaxBatch)*8 + 8
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	if cap(qc.bin) < int(maxBody) {
+		qc.bin = make([]byte, 0, maxBody)
+	}
+	qc.bin = qc.bin[:0]
+	var err error
+	qc.bin, err = readAllInto(qc.bin, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes (max-batch is %d pairs)", maxBody, s.cfg.MaxBatch))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	count, err := wire.BatchRequestCount(qc.bin)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if count > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d pairs exceeds the limit of %d", count, s.cfg.MaxBatch))
+		return
+	}
+	qc.pairs, err = wire.DecodeBatchRequest(qc.pairs, qc.bin)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := len(qc.pairs)
+	if cap(qc.dists) < n {
+		qc.dists = make([]uint32, n)
+	}
+	qc.dists = qc.dists[:n]
+	if err := s.distanceBatch(qc); err != nil {
+		writeError(w, http.StatusBadGateway, "backend query failed: "+err.Error())
+		return
+	}
+	s.queries.Add(int64(n))
+	qc.bin = wire.AppendBatchResponse(qc.bin[:0], qc.dists)
+	w.Header().Set("Content-Type", wire.ContentTypeBinaryBatch)
+	w.WriteHeader(http.StatusOK)
+	w.Write(qc.bin)
+}
+
+func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 	qc := s.ctxPool.Get().(*queryCtx)
 	defer s.ctxPool.Put(qc)
 
@@ -252,7 +354,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	maxBody := int64(s.cfg.MaxBatch)*64 + 64
 	body := http.MaxBytesReader(w, r.Body, maxBody)
 	qc.raw = qc.raw[:0]
-	if err := json.NewDecoder(body).Decode(&qc.raw); err != nil {
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&qc.raw); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -260,6 +363,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeError(w, http.StatusBadRequest, "body must be a JSON array of [s,t] pairs: "+err.Error())
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		// Decode stops after the first JSON value; anything but EOF
+		// behind it means the client framed the request wrong, and
+		// answering just the first value would silently drop the rest.
+		writeError(w, http.StatusBadRequest, "trailing data after the batch array")
 		return
 	}
 	if len(qc.raw) > s.cfg.MaxBatch {
@@ -271,7 +381,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	n := len(qc.raw)
 	if cap(qc.pairs) < n {
 		qc.pairs = make([]hopdb.QueryPair, n)
+	}
+	if cap(qc.dists) < n {
 		qc.dists = make([]uint32, n)
+	}
+	if cap(qc.results) < n {
 		qc.results = make([]DistanceResult, n)
 	}
 	qc.pairs, qc.dists, qc.results = qc.pairs[:n], qc.dists[:n], qc.results[:n]
@@ -283,7 +397,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range qc.raw {
 		qc.pairs[i] = hopdb.QueryPair{S: p[0], T: p[1]}
 	}
-	s.distanceBatch(qc)
+	if err := s.distanceBatch(qc); err != nil {
+		writeError(w, http.StatusBadGateway, "backend query failed: "+err.Error())
+		return
+	}
 	s.queries.Add(int64(n))
 	for i := range qc.results {
 		qc.results[i] = DistanceResult{
@@ -306,7 +423,13 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	path, err := s.idx.Path(sv, tv)
+	p, canPath := s.q.(hopdb.Pather)
+	if !canPath {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("the %s backend answers distances only; path reconstruction needs an in-memory index with a graph attached", s.backend.Backend))
+		return
+	}
+	path, err := p.Path(sv, tv)
 	s.queries.Add(1)
 	switch {
 	case errors.Is(err, hopdb.ErrNoGraph):
@@ -319,7 +442,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	d, _ := s.idx.Distance(sv, tv)
+	d, _ := s.q.Distance(sv, tv)
 	writeJSON(w, http.StatusOK, PathResult{S: sv, T: tv, Distance: d, Path: path})
 }
 
@@ -330,14 +453,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// Stats snapshots the serving counters (also served as /stats).
+// Stats snapshots the serving counters (also served as /v1/stats). The
+// cache section is present only when the cache is enabled, and the
+// backend kind tells operators which regime (heap/mmap/disk/remote) is
+// answering.
 func (s *Server) Stats() StatsResult {
 	uptime := time.Since(s.start).Seconds()
 	queries := s.queries.Load()
+	st := s.q.Stats()
 	res := StatsResult{
-		Vertices:      s.idx.N(),
-		Entries:       s.idx.Entries(),
-		SizeBytes:     s.idx.SizeBytes(),
+		Backend:       string(st.Backend),
+		BitParallel:   st.BitParallel,
+		Directed:      st.Directed,
+		Vertices:      st.Vertices,
+		Entries:       st.Entries,
+		SizeBytes:     st.SizeBytes,
 		UptimeSeconds: uptime,
 		Queries:       queries,
 	}
@@ -400,6 +530,24 @@ func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 		return false
 	}
 	return true
+}
+
+// readAllInto appends r's contents to dst, like io.ReadAll but reusing
+// dst's capacity.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

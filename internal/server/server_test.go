@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,9 +12,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	hopdb "repro"
+	"repro/internal/wire"
 )
 
 // testIndex builds an index over two components: a path 0-1-2-3 and an
@@ -120,7 +124,7 @@ func TestBatchEndpoint(t *testing.T) {
 			t.Fatalf("round %d: status %d, %d results", round, resp.StatusCode, len(br.Results))
 		}
 		for i, p := range pairs {
-			want, wantOK := s.idx.Distance(p[0], p[1])
+			want, wantOK := s.q.Distance(p[0], p[1])
 			r := br.Results[i]
 			if r.S != p[0] || r.T != p[1] || r.Reachable != wantOK {
 				t.Fatalf("round %d result %d = %+v, want s=%d t=%d reachable=%v", round, i, r, p[0], p[1], wantOK)
@@ -301,7 +305,7 @@ func TestConcurrentClients(t *testing.T) {
 						t.Error(err)
 						return
 					}
-					want, wantOK := s.idx.Distance(sv, tv)
+					want, wantOK := s.q.Distance(sv, tv)
 					if dr.Reachable != wantOK || (wantOK && *dr.Distance != want) {
 						t.Errorf("distance(%d,%d) = %+v, want (%d,%v)", sv, tv, dr, want, wantOK)
 						return
@@ -320,7 +324,7 @@ func TestConcurrentClients(t *testing.T) {
 						t.Errorf("batch decode: %v (%d results)", err, len(br.Results))
 						return
 					}
-					want, wantOK := s.idx.Distance(sv, tv)
+					want, wantOK := s.q.Distance(sv, tv)
 					if br.Results[0].Reachable != wantOK || (wantOK && *br.Results[0].Distance != want) {
 						t.Errorf("batch(%d,%d) = %+v, want (%d,%v)", sv, tv, br.Results[0], want, wantOK)
 						return
@@ -330,4 +334,287 @@ func TestConcurrentClients(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
+}
+
+// TestV1RouteAliases checks the legacy unversioned routes answer
+// byte-identically to the versioned /v1 surface.
+func TestV1RouteAliases(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, route := range []string{"/distance?s=0&t=3", "/distance?s=0&t=4", "/healthz"} {
+		status1, body1 := get(t, ts.URL+"/v1"+route)
+		status2, body2 := get(t, ts.URL+route)
+		if status1 != status2 || body1 != body2 {
+			t.Errorf("route %s: /v1 answers %d %q, legacy answers %d %q",
+				route, status1, body1, status2, body2)
+		}
+	}
+	// Batch via both prefixes.
+	for _, prefix := range []string{"", "/v1"} {
+		resp, err := http.Post(ts.URL+prefix+"/batch", "application/json", strings.NewReader(`[[0,3]]`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), `"distance":3`) {
+			t.Errorf("%s/batch = %d %q", prefix, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestBinaryBatch drives /v1/batch with the compact binary encoding and
+// cross-checks every answer against the JSON path.
+func TestBinaryBatch(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 64})
+	pairs := []hopdb.QueryPair{{S: 0, T: 3}, {S: 3, T: 0}, {S: 2, T: 2}, {S: 0, T: 4}, {S: 0, T: 999}}
+	body := wire.AppendBatchRequest(nil, pairs)
+	// Two rounds: the second is served from the distance cache.
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(ts.URL+"/v1/batch", wire.ContentTypeBinaryBatch, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeBinaryBatch {
+			t.Fatalf("round %d: response Content-Type %q", round, ct)
+		}
+		dists, err := wire.DecodeBatchResponse(nil, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dists) != len(pairs) {
+			t.Fatalf("round %d: %d results for %d pairs", round, len(dists), len(pairs))
+		}
+		for i, p := range pairs {
+			want, wantOK := s.q.Distance(p.S, p.T)
+			if wantOK && dists[i] != want {
+				t.Errorf("round %d: binary dist(%d,%d) = %d, want %d", round, p.S, p.T, dists[i], want)
+			}
+			if !wantOK && dists[i] != hopdb.Infinity {
+				t.Errorf("round %d: unreachable pair answered %d, want Infinity", round, dists[i])
+			}
+		}
+	}
+}
+
+func TestBinaryBatchRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 3})
+	post := func(body []byte) int {
+		resp, err := http.Post(ts.URL+"/v1/batch", wire.ContentTypeBinaryBatch, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	over := wire.AppendBatchRequest(nil, make([]hopdb.QueryPair, 4))
+	if code := post(over); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("4-pair binary batch with MaxBatch=3 = %d, want 413", code)
+	}
+	if code := post([]byte("garbage!")); code != http.StatusBadRequest {
+		t.Errorf("garbage binary body = %d, want 400", code)
+	}
+	good := wire.AppendBatchRequest(nil, []hopdb.QueryPair{{S: 0, T: 1}})
+	if code := post(good[:len(good)-2]); code != http.StatusBadRequest {
+		t.Errorf("truncated binary body = %d, want 400", code)
+	}
+}
+
+// TestStatsBackendAndCacheOmission: /v1/stats must name the serving
+// backend and omit the cache section entirely when the cache is off.
+func TestStatsBackendAndCacheOmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // no cache
+	status, body := get(t, ts.URL+"/v1/stats")
+	if status != 200 {
+		t.Fatalf("/v1/stats = %d", status)
+	}
+	if !strings.Contains(body, `"backend":"heap"`) {
+		t.Errorf("stats missing heap backend kind: %s", body)
+	}
+	if strings.Contains(body, `"cache"`) {
+		t.Errorf("cache disabled but stats reports a cache section: %s", body)
+	}
+
+	// An mmap-backed Querier must report itself as such.
+	idx := testIndex(t)
+	file := filepath.Join(t.TempDir(), "g.idx")
+	if err := idx.Save(file); err != nil {
+		t.Fatal(err)
+	}
+	mq, err := hopdb.Open(file, hopdb.WithMmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mq.Close()
+	ts2 := httptest.NewServer(New(mq, Config{CacheEntries: 8}).Handler())
+	defer ts2.Close()
+	status, body = get(t, ts2.URL+"/v1/stats")
+	if status != 200 || !strings.Contains(body, `"backend":"mmap"`) {
+		t.Errorf("mmap stats = %d %s", status, body)
+	}
+	if !strings.Contains(body, `"cache"`) {
+		t.Errorf("cache enabled but stats omits it: %s", body)
+	}
+}
+
+// TestDiskBackendServing serves a WithDisk Querier: distances must match
+// the in-memory index, and /v1/path must answer 501 (the disk backend
+// cannot reconstruct paths).
+func TestDiskBackendServing(t *testing.T) {
+	idx := testIndex(t)
+	file := filepath.Join(t.TempDir(), "g.didx")
+	if err := idx.SaveDiskIndex(file); err != nil {
+		t.Fatal(err)
+	}
+	dq, err := hopdb.Open(file, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dq.Close()
+	ts := httptest.NewServer(New(dq, Config{}).Handler())
+	defer ts.Close()
+
+	for s := int32(0); s < 6; s++ {
+		for u := int32(0); u < 6; u++ {
+			want, wantOK := idx.Distance(s, u)
+			status, body := get(t, ts.URL+fmt.Sprintf("/v1/distance?s=%d&t=%d", s, u))
+			if status != 200 {
+				t.Fatalf("disk /v1/distance = %d", status)
+			}
+			var dr DistanceResult
+			if err := json.Unmarshal([]byte(body), &dr); err != nil {
+				t.Fatal(err)
+			}
+			if dr.Reachable != wantOK || (wantOK && *dr.Distance != want) {
+				t.Errorf("disk dist(%d,%d) = %+v, want (%d,%v)", s, u, dr, want, wantOK)
+			}
+		}
+	}
+	if status, body := get(t, ts.URL+"/v1/path?s=0&t=3"); status != http.StatusNotImplemented {
+		t.Errorf("disk /v1/path = %d %q, want 501", status, body)
+	}
+	if status, body := get(t, ts.URL+"/v1/stats"); status != 200 || !strings.Contains(body, `"backend":"disk"`) {
+		t.Errorf("disk stats = %d %s", status, body)
+	}
+}
+
+// TestBatchRejectsTrailingData: json.Decoder stops after the first JSON
+// value, so a concatenated or misframed body must be a 400, not a
+// confidently truncated answer set.
+func TestBatchRejectsTrailingData(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{`[[0,1]] [[2,3]]`, `[[0,1]]garbage`, `[[0,1]] x`} {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Trailing whitespace is fine.
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader("[[0,1]]  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("trailing whitespace = %d, want 200", resp.StatusCode)
+	}
+}
+
+// flakyQuerier wraps an index and fails every query while failing is
+// set, like a disk with I/O errors or an unreachable upstream.
+type flakyQuerier struct {
+	idx     *hopdb.Index
+	failing atomic.Bool
+}
+
+func (f *flakyQuerier) Distance(s, t int32) (uint32, bool) {
+	d, ok, _ := f.Lookup(s, t)
+	return d, ok
+}
+
+func (f *flakyQuerier) Lookup(s, t int32) (uint32, bool, error) {
+	if f.failing.Load() {
+		return hopdb.Infinity, false, errors.New("backend down")
+	}
+	d, ok := f.idx.Distance(s, t)
+	return d, ok, nil
+}
+
+func (f *flakyQuerier) DistanceBatchInto(results []uint32, pairs []hopdb.QueryPair, workers int) []uint32 {
+	out, _ := f.LookupBatchInto(results, pairs, workers)
+	return out
+}
+
+func (f *flakyQuerier) LookupBatchInto(results []uint32, pairs []hopdb.QueryPair, workers int) ([]uint32, error) {
+	if f.failing.Load() {
+		results = results[:len(pairs)]
+		for i := range results {
+			results[i] = hopdb.Infinity
+		}
+		return results, errors.New("backend down")
+	}
+	return f.idx.DistanceBatchInto(results, pairs, workers), nil
+}
+
+func (f *flakyQuerier) N() int32                  { return f.idx.N() }
+func (f *flakyQuerier) Stats() hopdb.QuerierStats { return f.idx.Stats() }
+func (f *flakyQuerier) Close() error              { return f.idx.Close() }
+
+// TestBackendFailureIs502NotCachedUnreachable: a failing backend must
+// answer 502, and the failure must never enter the distance cache — once
+// the backend recovers, the pair answers correctly.
+func TestBackendFailureIs502NotCachedUnreachable(t *testing.T) {
+	fq := &flakyQuerier{idx: testIndex(t)}
+	ts := httptest.NewServer(New(fq, Config{CacheEntries: 64}).Handler())
+	defer ts.Close()
+
+	fq.failing.Store(true)
+	if status, body := get(t, ts.URL+"/v1/distance?s=0&t=3"); status != http.StatusBadGateway {
+		t.Fatalf("failing backend /v1/distance = %d %q, want 502", status, body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(`[[0,3],[1,2]]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("failing backend /v1/batch = %d, want 502", resp.StatusCode)
+	}
+	bin := wire.AppendBatchRequest(nil, []hopdb.QueryPair{{S: 0, T: 3}})
+	resp, err = http.Post(ts.URL+"/v1/batch", wire.ContentTypeBinaryBatch, bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("failing backend binary /v1/batch = %d, want 502", resp.StatusCode)
+	}
+
+	// Recovery: the earlier failures must not have been cached as
+	// unreachable.
+	fq.failing.Store(false)
+	status, body := get(t, ts.URL+"/v1/distance?s=0&t=3")
+	if status != 200 || !strings.Contains(body, `"distance":3`) {
+		t.Fatalf("recovered backend = %d %q, want distance 3", status, body)
+	}
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(`[[0,3],[1,2]]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(raw), `"distance":3`) {
+		t.Fatalf("recovered batch = %d %q", resp.StatusCode, raw)
+	}
 }

@@ -1,0 +1,244 @@
+// Package wire holds the vocabulary shared by every hopdb query backend
+// and the HTTP surface between them: the query-pair and stats types the
+// public Querier contract is written in, the sentinel errors of path
+// reconstruction, the JSON shapes of the versioned /v1 API, and the
+// compact binary batch encoding negotiated by Content-Type.
+//
+// It exists as a separate internal package so the public client package
+// can implement hopdb.Querier without importing the root package (which
+// imports the client for hopdb.Open's WithRemote): both sides alias or
+// reference these definitions instead of each other.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Infinity is the distance reported for unreachable vertex pairs, on the
+// wire and in memory.
+const Infinity = graph.Infinity
+
+// QueryPair is one (source, target) distance request. The root package
+// aliases it as hopdb.QueryPair.
+type QueryPair struct {
+	S, T int32
+}
+
+// Backend identifies which implementation answers a Querier's queries.
+type Backend string
+
+// The built-in backend kinds, as reported by Stats and /v1/stats.
+const (
+	// BackendHeap serves from label arrays resident in process memory.
+	BackendHeap Backend = "heap"
+	// BackendMmap serves from a memory-mapped index file.
+	BackendMmap Backend = "mmap"
+	// BackendDisk serves from the block-addressable on-disk format,
+	// reading only the label blocks each query needs.
+	BackendDisk Backend = "disk"
+	// BackendRemote forwards queries to a hopdb-serve instance over HTTP.
+	BackendRemote Backend = "remote"
+)
+
+// QuerierStats describes a query backend: what serves the answers and how
+// big the index is. The root package aliases it as hopdb.QuerierStats.
+type QuerierStats struct {
+	// Backend is the implementation kind (heap, mmap, disk, remote).
+	Backend Backend
+	// Directed reports whether queries respect edge direction.
+	Directed bool
+	// Vertices is the number of indexed vertices.
+	Vertices int32
+	// Entries is the number of non-trivial label entries.
+	Entries int64
+	// SizeBytes is the serialized label size in bytes.
+	SizeBytes int64
+	// BitParallel reports whether bit-parallel acceleration is active.
+	BitParallel bool
+}
+
+// Path reconstruction errors, shared so the HTTP client can return the
+// same sentinels the in-process index does (the root package aliases
+// them as hopdb.ErrNoGraph / hopdb.ErrUnreachable).
+var (
+	// ErrNoGraph is returned by Path when the backend has no graph to
+	// walk (e.g. an index freshly loaded from disk).
+	ErrNoGraph = errors.New("hopdb: no graph attached")
+	// ErrUnreachable is returned by Path when t is not reachable from s.
+	ErrUnreachable = errors.New("hopdb: target unreachable")
+)
+
+// DistanceResult is the JSON answer for one query pair (/v1/distance and
+// each element of a /v1/batch response). Distance is a pointer so
+// unreachable pairs omit the field instead of reporting a bogus zero
+// (and s==t still reports an explicit 0).
+type DistanceResult struct {
+	S         int32   `json:"s"`
+	T         int32   `json:"t"`
+	Distance  *uint32 `json:"distance,omitempty"`
+	Reachable bool    `json:"reachable"`
+}
+
+// BatchResult is the JSON answer for a /v1/batch request; Results[i]
+// answers pairs[i].
+type BatchResult struct {
+	Results []DistanceResult `json:"results"`
+}
+
+// PathResult is the JSON answer for a /v1/path request.
+type PathResult struct {
+	S        int32   `json:"s"`
+	T        int32   `json:"t"`
+	Distance uint32  `json:"distance"`
+	Path     []int32 `json:"path"`
+}
+
+// StatsResult is the JSON answer for /v1/stats.
+type StatsResult struct {
+	// Backend is the serving backend kind (heap, mmap, disk, remote).
+	Backend string `json:"backend,omitempty"`
+	// BitParallel reports whether bit-parallel acceleration is active.
+	BitParallel bool `json:"bit_parallel,omitempty"`
+	// Directed reports whether queries respect edge direction.
+	Directed      bool    `json:"directed"`
+	Vertices      int32   `json:"vertices"`
+	Entries       int64   `json:"entries"`
+	SizeBytes     int64   `json:"size_bytes"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries       int64   `json:"queries"`
+	QPS           float64 `json:"qps"`
+	// Cache is present only when the server's distance cache is enabled;
+	// a disabled cache omits the whole section instead of reporting
+	// misleading zeros.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats reports distance-cache effectiveness in /v1/stats.
+type CacheStats struct {
+	Capacity int     `json:"capacity"`
+	Entries  int     `json:"entries"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Binary batch encoding (little endian), negotiated on /v1/batch by the
+// request Content-Type. It exists for high-throughput clients: a pair
+// costs 8 bytes instead of ~12-20 JSON characters, and both sides decode
+// with zero reflection.
+//
+//	request:  magic "HBQ1" | count u32 | count x (s i32, t i32)
+//	response: magic "HBR1" | count u32 | count x (dist u32)
+//
+// An unreachable pair answers Infinity (0xFFFFFFFF). The response order
+// matches the request order.
+const (
+	// ContentTypeBinaryBatch selects the binary encoding on /v1/batch;
+	// the response is encoded the same way.
+	ContentTypeBinaryBatch = "application/x-hopdb-batch"
+
+	batchReqMagic   = "HBQ1"
+	batchRespMagic  = "HBR1"
+	batchHeaderSize = 8
+	pairBytes       = 8
+	distBytes       = 4
+)
+
+// AppendBatchRequest appends the binary encoding of pairs to dst and
+// returns the extended slice.
+func AppendBatchRequest(dst []byte, pairs []QueryPair) []byte {
+	dst = appendHeader(dst, batchReqMagic, len(pairs))
+	for _, p := range pairs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.S))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.T))
+	}
+	return dst
+}
+
+// BatchRequestCount parses only the header of a binary batch request and
+// returns the claimed pair count, so servers can reject oversized batches
+// before allocating anything proportional to the claim.
+func BatchRequestCount(b []byte) (int, error) {
+	return headerCount(b, batchReqMagic, "batch request", pairBytes)
+}
+
+// DecodeBatchRequest decodes a binary batch request into dst (reusing its
+// backing array when large enough) and returns the pairs. The encoding is
+// strict: a size that disagrees with the header count is an error.
+func DecodeBatchRequest(dst []QueryPair, b []byte) ([]QueryPair, error) {
+	count, err := BatchRequestCount(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != batchHeaderSize+count*pairBytes {
+		return nil, fmt.Errorf("wire: batch request is %d bytes, want %d for %d pairs",
+			len(b), batchHeaderSize+count*pairBytes, count)
+	}
+	if cap(dst) < count {
+		dst = make([]QueryPair, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
+		off := batchHeaderSize + i*pairBytes
+		dst[i].S = int32(binary.LittleEndian.Uint32(b[off:]))
+		dst[i].T = int32(binary.LittleEndian.Uint32(b[off+4:]))
+	}
+	return dst, nil
+}
+
+// AppendBatchResponse appends the binary encoding of dists to dst and
+// returns the extended slice.
+func AppendBatchResponse(dst []byte, dists []uint32) []byte {
+	dst = appendHeader(dst, batchRespMagic, len(dists))
+	for _, d := range dists {
+		dst = binary.LittleEndian.AppendUint32(dst, d)
+	}
+	return dst
+}
+
+// DecodeBatchResponse decodes a binary batch response into dst (reusing
+// its backing array when large enough) and returns the distances.
+func DecodeBatchResponse(dst []uint32, b []byte) ([]uint32, error) {
+	count, err := headerCount(b, batchRespMagic, "batch response", distBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != batchHeaderSize+count*distBytes {
+		return nil, fmt.Errorf("wire: batch response is %d bytes, want %d for %d results",
+			len(b), batchHeaderSize+count*distBytes, count)
+	}
+	if cap(dst) < count {
+		dst = make([]uint32, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[batchHeaderSize+i*distBytes:])
+	}
+	return dst, nil
+}
+
+func appendHeader(dst []byte, magic string, count int) []byte {
+	dst = append(dst, magic...)
+	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+}
+
+func headerCount(b []byte, magic, what string, itemBytes int) (int, error) {
+	if len(b) < batchHeaderSize {
+		return 0, fmt.Errorf("wire: %s truncated (%d bytes)", what, len(b))
+	}
+	if string(b[:4]) != magic {
+		return 0, fmt.Errorf("wire: bad %s magic %q", what, b[:4])
+	}
+	count := binary.LittleEndian.Uint32(b[4:8])
+	if int64(count) > int64(len(b)-batchHeaderSize)/int64(itemBytes) {
+		// A count beyond the payload is rejected before any count-driven
+		// allocation; the exact-size checks in the decoders then make
+		// the bound tight.
+		return 0, fmt.Errorf("wire: %s claims %d items in %d bytes", what, count, len(b))
+	}
+	return int(count), nil
+}

@@ -1,17 +1,20 @@
 package hopdb
 
 import (
-	"errors"
 	"fmt"
+
+	"repro/internal/wire"
 )
 
-// Path reconstruction errors.
+// Path reconstruction errors. They are shared wire-level sentinels so a
+// remote client (package repro/client) returns the same values the
+// in-process index does, and errors.Is works across backends.
 var (
 	// ErrNoGraph is returned by Path when the index has no attached
 	// graph (e.g. freshly loaded from disk); see AttachGraph.
-	ErrNoGraph = errors.New("hopdb: no graph attached")
+	ErrNoGraph = wire.ErrNoGraph
 	// ErrUnreachable is returned by Path when t is not reachable from s.
-	ErrUnreachable = errors.New("hopdb: target unreachable")
+	ErrUnreachable = wire.ErrUnreachable
 )
 
 // Path reconstructs one shortest path from s to t (inclusive of both

@@ -1,0 +1,312 @@
+package hopdb_test
+
+// The Querier conformance suite: one table of graphs, one set of checks,
+// run against every backend — heap, mmap, disk, bit-parallel, and the
+// HTTP client talking to a live server. The paper's claim is that the
+// same 2-hop label index answers exact queries in every deployment
+// regime; this suite pins the repo to that claim, asserting identical
+// answers and identical Infinity/ok semantics everywhere.
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	hopdb "repro"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/sp"
+)
+
+// confGraph is one row of the conformance table.
+type confGraph struct {
+	name     string
+	directed bool
+	weighted bool
+	build    func(t *testing.T) *hopdb.Graph
+}
+
+func confGraphs() []confGraph {
+	return []confGraph{
+		{
+			// Hand-built components: a path, a separate edge, and an
+			// isolated vertex, so unreachable pairs definitely exist.
+			name: "undirected-components",
+			build: func(t *testing.T) *hopdb.Graph {
+				b := hopdb.NewGraphBuilder(false, false)
+				b.AddEdge(0, 1, 1)
+				b.AddEdge(1, 2, 1)
+				b.AddEdge(2, 3, 1)
+				b.AddEdge(4, 5, 1)
+				b.Grow(7) // vertex 6 is isolated
+				g, err := b.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+		{
+			name: "undirected-scalefree",
+			build: func(t *testing.T) *hopdb.Graph {
+				g, err := gen.GLP(gen.DefaultGLP(60, 3, 41))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+		{
+			name:     "directed-powerlaw",
+			directed: true,
+			build: func(t *testing.T) *hopdb.Graph {
+				g, err := gen.PowerLaw(gen.PowerLawParams{
+					N: 50, Density: 3, Alpha: 2.2, Directed: true, Seed: 43,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+		{
+			name:     "undirected-weighted",
+			weighted: true,
+			build: func(t *testing.T) *hopdb.Graph {
+				g0, err := gen.ER(40, 90, false, 45)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := gen.WithRandomWeights(g0, 9, 45)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+	}
+}
+
+// confBackend is one opened backend under test plus its expected kind.
+type confBackend struct {
+	name    string
+	kind    hopdb.Backend
+	querier hopdb.Querier
+}
+
+// openBackends builds the index for g once and opens it through every
+// backend. The bit-parallel backend only exists for undirected
+// unweighted graphs (the paper's Section 6 restriction).
+func openBackends(t *testing.T, g *hopdb.Graph, gc confGraph) []confBackend {
+	t.Helper()
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	idxPath := filepath.Join(dir, "conf.idx")
+	diskPath := filepath.Join(dir, "conf.didx")
+	if err := idx.Save(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SaveDiskIndex(diskPath); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(idx, server.Config{Workers: 4}).Handler())
+	t.Cleanup(ts.Close)
+
+	open := func(name string, kind hopdb.Backend, path string, opts ...hopdb.OpenOption) confBackend {
+		q, err := hopdb.Open(path, opts...)
+		if err != nil {
+			t.Fatalf("opening %s backend: %v", name, err)
+		}
+		t.Cleanup(func() { q.Close() })
+		return confBackend{name: name, kind: kind, querier: q}
+	}
+	backends := []confBackend{
+		open("heap", hopdb.BackendHeap, idxPath),
+		open("mmap", hopdb.BackendMmap, idxPath, hopdb.WithMmap()),
+		open("disk", hopdb.BackendDisk, diskPath, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: 16})),
+		open("remote", hopdb.BackendRemote, "", hopdb.WithRemote(ts.URL)),
+	}
+	if !gc.directed && !gc.weighted {
+		backends = append(backends,
+			open("bitparallel", hopdb.BackendHeap, idxPath, hopdb.WithGraph(g), hopdb.WithBitParallel(8)))
+	}
+	return backends
+}
+
+// TestQuerierConformance runs every backend over every graph and demands
+// byte-identical answers: same distances, same Infinity values, same ok
+// flags, for single queries and batches (serial and parallel, through a
+// reused results buffer).
+func TestQuerierConformance(t *testing.T) {
+	for _, gc := range confGraphs() {
+		t.Run(gc.name, func(t *testing.T) {
+			g := gc.build(t)
+			truth := sp.AllPairs(g)
+			n := g.N()
+
+			// The query set: all pairs, plus out-of-range ids on both
+			// sides. want[i] is the reference answer for pairs[i].
+			var pairs []hopdb.QueryPair
+			var want []uint32
+			for s := int32(0); s < n; s++ {
+				for u := int32(0); u < n; u++ {
+					pairs = append(pairs, hopdb.QueryPair{S: s, T: u})
+					want = append(want, truth[s][u])
+				}
+			}
+			for _, p := range []hopdb.QueryPair{{S: -1, T: 0}, {S: 0, T: -2}, {S: n, T: 0}, {S: 0, T: n + 5}} {
+				pairs = append(pairs, p)
+				want = append(want, hopdb.Infinity)
+			}
+
+			for _, be := range openBackends(t, g, gc) {
+				t.Run(be.name, func(t *testing.T) {
+					q := be.querier
+					if q.N() != n {
+						t.Fatalf("N() = %d, want %d", q.N(), n)
+					}
+					st := q.Stats()
+					if st.Backend != be.kind {
+						t.Errorf("Stats().Backend = %q, want %q", st.Backend, be.kind)
+					}
+					if st.Vertices != n || st.Directed != gc.directed {
+						t.Errorf("Stats() = %+v, want %d vertices, directed=%v", st, n, gc.directed)
+					}
+					if be.name == "bitparallel" && !st.BitParallel {
+						t.Error("Stats().BitParallel = false on the bit-parallel backend")
+					}
+
+					// Every backend also exposes the error-reporting
+					// extension the server relies on.
+					lq, hasLookup := q.(hopdb.Lookuper)
+					blq, hasBatchLookup := q.(hopdb.LookupBatcher)
+					if !hasLookup || !hasBatchLookup {
+						t.Fatalf("backend lacks Lookuper/LookupBatcher (%v/%v)", hasLookup, hasBatchLookup)
+					}
+
+					// Single queries: answer and ok semantics, with
+					// Lookup agreeing and reporting no error.
+					for i, p := range pairs {
+						d, ok := q.Distance(p.S, p.T)
+						if d != want[i] {
+							t.Fatalf("Distance(%d,%d) = %d, want %d", p.S, p.T, d, want[i])
+						}
+						if ok != (d != hopdb.Infinity) {
+							t.Fatalf("Distance(%d,%d) ok=%v disagrees with d=%d", p.S, p.T, ok, d)
+						}
+						ld, lok, lerr := lq.Lookup(p.S, p.T)
+						if lerr != nil || ld != d || lok != ok {
+							t.Fatalf("Lookup(%d,%d) = (%d,%v,%v), want (%d,%v,nil)", p.S, p.T, ld, lok, lerr, d, ok)
+						}
+					}
+
+					// Batches through one reused buffer, serial then
+					// sharded, via both batch entry points: must equal
+					// the singles exactly.
+					results := make([]uint32, len(pairs))
+					for _, workers := range []int{1, 4} {
+						out := q.DistanceBatchInto(results, pairs, workers)
+						if len(out) != len(pairs) {
+							t.Fatalf("workers=%d: batch returned %d results for %d pairs", workers, len(out), len(pairs))
+						}
+						for i := range out {
+							if out[i] != want[i] {
+								t.Fatalf("workers=%d: batch[%d] (%d,%d) = %d, want %d",
+									workers, i, pairs[i].S, pairs[i].T, out[i], want[i])
+							}
+						}
+						lout, lerr := blq.LookupBatchInto(results, pairs, workers)
+						if lerr != nil {
+							t.Fatalf("workers=%d: LookupBatchInto error: %v", workers, lerr)
+						}
+						for i := range lout {
+							if lout[i] != want[i] {
+								t.Fatalf("workers=%d: lookup batch[%d] = %d, want %d", workers, i, lout[i], want[i])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestQuerierConformanceBackendsAgree is the pairwise closure of the
+// suite: beyond matching ground truth, every backend must match every
+// other backend on a deterministic mixed workload (the acceptance
+// criterion is "byte-identical answers", not just "correct answers").
+func TestQuerierConformanceBackendsAgree(t *testing.T) {
+	gc := confGraphs()[1] // scale-free undirected: all five backends exist
+	g := gc.build(t)
+	backends := openBackends(t, g, gc)
+	n := g.N()
+	var pairs []hopdb.QueryPair
+	for i := int32(0); i < 500; i++ {
+		pairs = append(pairs, hopdb.QueryPair{S: (i * 37) % n, T: (i*91 + 13) % n})
+	}
+	answers := make([][]uint32, len(backends))
+	for i, be := range backends {
+		answers[i] = be.querier.DistanceBatchInto(make([]uint32, len(pairs)), pairs, 3)
+	}
+	for i := 1; i < len(backends); i++ {
+		for j := range pairs {
+			if answers[i][j] != answers[0][j] {
+				t.Fatalf("%s and %s disagree on (%d,%d): %d vs %d",
+					backends[i].name, backends[0].name, pairs[j].S, pairs[j].T,
+					answers[i][j], answers[0][j])
+			}
+		}
+	}
+}
+
+// TestOpenOptionValidation pins the Open misuse errors.
+func TestOpenOptionValidation(t *testing.T) {
+	gc := confGraphs()[0]
+	g := gc.build(t)
+	idx, _, err := hopdb.Build(g, hopdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	idxPath := filepath.Join(dir, "v.idx")
+	diskPath := filepath.Join(dir, "v.didx")
+	if err := idx.Save(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SaveDiskIndex(diskPath); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		path string
+		opts []hopdb.OpenOption
+	}{
+		{"disk+mmap", diskPath, []hopdb.OpenOption{hopdb.WithDisk(hopdb.DiskOptions{}), hopdb.WithMmap()}},
+		{"disk+graph", diskPath, []hopdb.OpenOption{hopdb.WithDisk(hopdb.DiskOptions{}), hopdb.WithGraph(g)}},
+		{"bitparallel without graph", idxPath, []hopdb.OpenOption{hopdb.WithBitParallel(8)}},
+		{"missing file", filepath.Join(dir, "nope.idx"), nil},
+	}
+	for _, c := range cases {
+		if q, err := hopdb.Open(c.path, c.opts...); err == nil {
+			q.Close()
+			t.Errorf("%s: Open succeeded, want error", c.name)
+		}
+	}
+	// WithGraph enables path reconstruction through the Pather interface.
+	q, err := hopdb.Open(idxPath, hopdb.WithGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	p, ok := q.(hopdb.Pather)
+	if !ok {
+		t.Fatal("heap backend with graph does not implement Pather")
+	}
+	path, err := p.Path(0, 3)
+	if err != nil || len(path) != 4 {
+		t.Fatalf("Path(0,3) = %v, %v", path, err)
+	}
+}
