@@ -178,3 +178,86 @@ func TestQueryCLIStdinAndExitCodes(t *testing.T) {
 		t.Errorf("conflicting flags = code %d, want 2", code)
 	}
 }
+
+// TestUpdateCLI drives hopdb-update end to end: build an index for a
+// path graph, apply a delta that short-circuits it and severs one link,
+// and verify the patched index answers the mutated graph.
+func TestUpdateCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI update test builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	buildBin := buildTool(t, dir, "hopdb-build")
+	updateBin := buildTool(t, dir, "hopdb-update")
+	queryBin := buildTool(t, dir, "hopdb-query")
+
+	// Path 0-1-2-3-4.
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(graphPath, []byte("0 1\n1 2\n2 3\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(dir, "g.idx")
+	if out, err := exec.Command(buildBin, "-in", graphPath, "-o", idxPath).CombinedOutput(); err != nil {
+		t.Fatalf("hopdb-build: %v\n%s", err, out)
+	}
+
+	deltaPath := filepath.Join(dir, "delta.txt")
+	delta := "# shortcut, then sever the middle\n+ 0 4\n- 1 2\n"
+	if err := os.WriteFile(deltaPath, []byte(delta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	patched := filepath.Join(dir, "patched.idx")
+	patchedGraph := filepath.Join(dir, "patched.txt")
+	out, err := exec.Command(updateBin, "-idx", idxPath, "-graph", graphPath,
+		"-delta", deltaPath, "-o", patched, "-out-graph", patchedGraph).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hopdb-update: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "applied 2 ops") || !strings.Contains(string(out), "1 inserts, 1 deletes") {
+		t.Errorf("update output unexpected:\n%s", out)
+	}
+
+	// Patched graph: 0-1, 0-4, 2-3, 3-4. d(0,4)=1, d(1,2)=4 (1-0-4-3-2),
+	// d(0,3)=2.
+	cmd := exec.Command(queryBin, "-idx", patched)
+	cmd.Stdin = strings.NewReader("0 4\n1 2\n0 3\n")
+	qout, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("hopdb-query on patched index: %v", err)
+	}
+	want := "0 4 1\n1 2 4\n0 3 2\n"
+	if string(qout) != want {
+		t.Errorf("patched answers = %q, want %q", qout, want)
+	}
+
+	// The emitted mutated edge list must rebuild to the same answers.
+	idx2 := filepath.Join(dir, "rebuilt.idx")
+	if out, err := exec.Command(buildBin, "-in", patchedGraph, "-o", idx2).CombinedOutput(); err != nil {
+		t.Fatalf("hopdb-build on mutated graph: %v\n%s", err, out)
+	}
+	cmd = exec.Command(queryBin, "-idx", idx2)
+	cmd.Stdin = strings.NewReader("0 4\n1 2\n0 3\n")
+	qout2, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("hopdb-query on rebuilt index: %v", err)
+	}
+	if string(qout2) != string(qout) {
+		t.Errorf("patched and rebuilt answers differ: %q vs %q", qout, qout2)
+	}
+
+	// A malformed delta exits 3.
+	if err := os.WriteFile(deltaPath, []byte("* 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = exec.Command(updateBin, "-idx", idxPath, "-graph", graphPath,
+		"-delta", deltaPath, "-o", patched).Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Errorf("malformed delta: %v, want exit 3", err)
+	}
+	// Missing required flags exit 2.
+	err = exec.Command(updateBin, "-idx", idxPath).Run()
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Errorf("missing flags: %v, want exit 2", err)
+	}
+}

@@ -11,8 +11,11 @@
 //	hopdb-serve -idx graph.idx -mmap -graph graph.txt   # enables /v1/path
 //	hopdb-serve -disk graph.didx -disk-cache 4096       # labels stay on disk
 //	hopdb-serve -remote http://other:8080               # proxy + cache tier
+//	hopdb-serve -idx graph.idx -graph graph.txt -updates -admin-token secret
+//	                                                    # accept edge updates
 //
-// Endpoints (also reachable without the /v1 prefix, as legacy aliases):
+// Endpoints (also reachable without the /v1 prefix, as legacy aliases;
+// the admin surface exists only under /v1):
 //
 //	GET  /v1/distance?s=1&t=2  one pair
 //	POST /v1/batch             JSON array of [s,t] pairs, or the compact
@@ -20,7 +23,9 @@
 //	GET  /v1/path?s=1&t=2      shortest path (needs -graph)
 //	GET  /v1/healthz           liveness
 //	GET  /v1/stats             backend kind, index size, uptime, QPS,
-//	                           cache hit rate
+//	                           cache hit rate, update counters
+//	POST /v1/admin/edges       online edge inserts/deletes (-updates,
+//	                           gated by -admin-token)
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -53,6 +58,9 @@ func main() {
 		directed   = flag.Bool("directed", false, "treat -graph edges as directed")
 		weighted   = flag.Bool("weighted", false, "read -graph third column as weight")
 		bitpar     = flag.Int("bitparallel", 0, "enable bit-parallel acceleration with this many roots (needs -graph; undirected unweighted only)")
+		updates    = flag.Bool("updates", false, "accept online edge updates via POST /v1/admin/edges (needs -idx and -graph)")
+		adminToken = flag.String("admin-token", "", "bearer token gating the admin API; empty disables /v1/admin/*")
+		staleFrac  = flag.Float64("stale", 0, "dirty-vertex fraction beyond which a delete full-rebuilds the labels (default 0.25)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		cache      = flag.Int("cache", 0, "distance cache budget in entries (0 disables)")
 		workers    = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
@@ -101,6 +109,11 @@ func main() {
 	if *bitpar > 0 {
 		opts = append(opts, hopdb.WithBitParallel(*bitpar))
 	}
+	if *updates {
+		// Open validates the combination (heap index + graph, no
+		// mmap/disk/remote/bit-parallel) and reports a precise error.
+		opts = append(opts, hopdb.WithUpdates(hopdb.UpdateOptions{MaxStaleFraction: *staleFrac}))
+	}
 
 	start := time.Now()
 	q, err := hopdb.Open(path, opts...)
@@ -117,12 +130,20 @@ func main() {
 	if st.BitParallel {
 		log.Printf("bit-parallel acceleration enabled with %d roots", *bitpar)
 	}
+	if *updates {
+		if *adminToken == "" {
+			log.Printf("online updates enabled, but no -admin-token set: POST /v1/admin/edges will answer 403")
+		} else {
+			log.Printf("online updates enabled: POST /v1/admin/edges (bearer-token gated)")
+		}
+	}
 
 	srv := server.New(q, server.Config{
 		CacheEntries: *cache,
 		MaxBatch:     *maxBatch,
 		Workers:      *workers,
 		Timeout:      *timeout,
+		AdminToken:   *adminToken,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

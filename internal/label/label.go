@@ -217,6 +217,21 @@ func Insert(list []Entry, pivot int32, dist uint32) ([]Entry, bool) {
 	return list, true
 }
 
+// RemovePivots filters a pivot-sorted list in place, dropping every entry
+// whose pivot is marked in drop (indexed by pivot id). It returns the
+// shortened list, which aliases the input's backing array. Used by online
+// label maintenance to strip the entries of suspect roots before they are
+// recomputed against the mutated graph.
+func RemovePivots(list []Entry, drop []bool) []Entry {
+	kept := list[:0]
+	for _, e := range list {
+		if !drop[e.Pivot] {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
 // Entries returns the total number of non-trivial label entries.
 func (x *Index) Entries() int64 {
 	var total int64

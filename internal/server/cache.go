@@ -19,16 +19,31 @@ const cacheShards = 16
 // workloads, where a small set of hot pairs dominates traffic. Both
 // reachable distances and Infinity (unreachable) answers are cached —
 // negative answers are exactly as expensive to recompute.
+//
+// Entries are generation-tagged so edge updates can invalidate them
+// race-free: a reader that computed its answer against a pre-update
+// label epoch stores it with the generation it captured BEFORE querying,
+// and get ignores entries from past generations — so an answer that was
+// in flight across a purge can land in the cache but can never be
+// served.
 type distCache struct {
 	undirected bool // canonicalize (s,t) so both query directions share an entry
+	gen        atomic.Uint32
 	shards     [cacheShards]cacheShard
 	hits       atomic.Int64
 	misses     atomic.Int64
 }
 
+// cacheVal is one cached answer plus the cache generation it was
+// computed under.
+type cacheVal struct {
+	d   uint32
+	gen uint32
+}
+
 type cacheShard struct {
 	mu sync.Mutex
-	c  *lru.Cache[uint64, uint32]
+	c  *lru.Cache[uint64, cacheVal]
 }
 
 // newDistCache builds a cache holding about `entries` pairs in total.
@@ -40,10 +55,15 @@ func newDistCache(entries int, undirected bool) *distCache {
 	perShard := (entries + cacheShards - 1) / cacheShards
 	c := &distCache{undirected: undirected}
 	for i := range c.shards {
-		c.shards[i].c = lru.New[uint64, uint32](perShard)
+		c.shards[i].c = lru.New[uint64, cacheVal](perShard)
 	}
 	return c
 }
+
+// generation returns the current cache generation. Capture it BEFORE
+// computing an answer and hand it to put; a purge in between makes the
+// stored entry dead on arrival instead of silently stale.
+func (c *distCache) generation() uint32 { return c.gen.Load() }
 
 // pairKey packs a query pair into the cache key. For undirected indexes
 // the pair is canonicalized so d(s,t) and d(t,s) share one entry.
@@ -62,29 +82,48 @@ func (c *distCache) shardOf(key uint64) *cacheShard {
 }
 
 // get returns the cached distance for (s,t) and whether it was present,
-// updating recency and the hit/miss counters.
+// updating recency and the hit/miss counters. Entries stored under a
+// past generation (answers computed before the last purge) are treated
+// as misses.
 func (c *distCache) get(s, t int32) (uint32, bool) {
 	key := c.pairKey(s, t)
 	sh := c.shardOf(key)
 	sh.mu.Lock()
-	d, ok := sh.c.Get(key)
+	v, ok := sh.c.Get(key)
 	sh.mu.Unlock()
-	if ok {
+	if ok && v.gen == c.gen.Load() {
 		c.hits.Add(1)
-		return d, true
+		return v.d, true
 	}
 	c.misses.Add(1)
 	return 0, false
 }
 
-// put records an answered query, evicting the shard's least recently
-// used entry when the shard is at capacity.
-func (c *distCache) put(s, t int32, d uint32) {
+// put records an answered query under the generation the caller captured
+// before computing it, evicting the shard's least recently used entry
+// when the shard is at capacity.
+func (c *distCache) put(s, t int32, d uint32, gen uint32) {
 	key := c.pairKey(s, t)
 	sh := c.shardOf(key)
 	sh.mu.Lock()
-	sh.c.Put(key, d)
+	sh.c.Put(key, cacheVal{d: d, gen: gen})
 	sh.mu.Unlock()
+}
+
+// purge invalidates every cached entry, keeping the capacity and the
+// cumulative hit/miss counters. Called after an edge update is applied:
+// any cached pair may now be stale, and serving it would undo the
+// update's visibility guarantee. The generation bump is what makes the
+// invalidation airtight (in-flight answers computed pre-update die on
+// arrival); dropping the entries just returns the memory promptly.
+func (c *distCache) purge() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.c = lru.New[uint64, cacheVal](sh.c.Cap())
+		sh.mu.Unlock()
+	}
 }
 
 // len returns the number of cached entries across all shards.

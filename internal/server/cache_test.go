@@ -19,7 +19,7 @@ func TestCachePutGet(t *testing.T) {
 	if _, ok := c.get(1, 2); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.put(1, 2, 7)
+	c.put(1, 2, 7, c.generation())
 	if d, ok := c.get(1, 2); !ok || d != 7 {
 		t.Fatalf("get(1,2) = (%d,%v), want (7,true)", d, ok)
 	}
@@ -34,7 +34,7 @@ func TestCachePutGet(t *testing.T) {
 
 func TestCacheUndirectedCanonicalizes(t *testing.T) {
 	c := newDistCache(64, true)
-	c.put(9, 3, 4)
+	c.put(9, 3, 4, c.generation())
 	if d, ok := c.get(3, 9); !ok || d != 4 {
 		t.Fatalf("undirected get(3,9) = (%d,%v), want (4,true)", d, ok)
 	}
@@ -59,8 +59,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	if !found {
 		t.Fatal("no colliding key pair found")
 	}
-	c.put(0, 1, 10)
-	c.put(s2, t2, 20) // evicts (0,1)
+	c.put(0, 1, 10, c.generation())
+	c.put(s2, t2, 20, c.generation()) // evicts (0,1)
 	if _, ok := c.get(0, 1); ok {
 		t.Fatal("LRU entry not evicted at capacity")
 	}
@@ -71,8 +71,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheUpdateRefreshes(t *testing.T) {
 	c := newDistCache(cacheShards, false) // 1 entry per shard
-	c.put(5, 6, 1)
-	c.put(5, 6, 2) // update in place, no eviction
+	c.put(5, 6, 1, c.generation())
+	c.put(5, 6, 2, c.generation()) // update in place, no eviction
 	if d, ok := c.get(5, 6); !ok || d != 2 {
 		t.Fatalf("updated entry = (%d,%v), want (2,true)", d, ok)
 	}
@@ -90,7 +90,7 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := int32(0); i < 500; i++ {
 				s, u := i%40, (i*7+int32(w))%40
-				c.put(s, u, uint32(s+u))
+				c.put(s, u, uint32(s+u), c.generation())
 				if d, ok := c.get(s, u); ok && d != uint32(s+u) {
 					t.Errorf("get(%d,%d) = %d, want %d", s, u, d, s+u)
 					return
@@ -101,5 +101,30 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.len() > c.capacity() {
 		t.Fatalf("cache overfilled: %d > %d", c.len(), c.capacity())
+	}
+}
+
+func TestCachePurgeGeneration(t *testing.T) {
+	c := newDistCache(64, false)
+	c.put(1, 2, 7, c.generation())
+	if _, ok := c.get(1, 2); !ok {
+		t.Fatal("warm entry missing")
+	}
+	// An in-flight reader captures the generation, then an update purges
+	// the cache before the reader stores its (now stale) answer: the
+	// stored entry must never be served.
+	staleGen := c.generation()
+	c.purge()
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("purge did not drop the entry")
+	}
+	c.put(1, 2, 7, staleGen)
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("stale-generation entry was served after purge")
+	}
+	// A post-purge answer stored under the current generation serves.
+	c.put(1, 2, 9, c.generation())
+	if d, ok := c.get(1, 2); !ok || d != 9 {
+		t.Fatalf("fresh entry = (%d,%v), want (9,true)", d, ok)
 	}
 }

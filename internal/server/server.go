@@ -18,17 +18,23 @@
 //	GET  /v1/path?s=1&t=2 -> {"s":1,"t":2,"distance":3,"path":[1,7,4,2]} (needs a Pather backend)
 //	GET  /v1/healthz -> {"status":"ok"}
 //	GET  /v1/stats -> backend kind, index size, uptime, query counters,
-//	                  cache hit rate (cache section omitted when disabled)
+//	                  cache hit rate (cache section omitted when disabled),
+//	                  update counters (updates section, updatable backends)
+//	POST /v1/admin/edges [{"op":"insert","u":1,"v":2,"w":3},...]
+//	                  -> {"applied":N,"stats":{...}}  (bearer-token gated,
+//	                  /v1 only; needs an updatable backend)
 //
 // Errors are always {"error":"..."} with a matching HTTP status: 400 for
-// malformed input, 404 for an unreachable /v1/path pair, 405 for a wrong
-// method, 413 for an oversized batch, 501 for /v1/path on a backend
-// without path reconstruction, and 502 when a fallible backend (disk,
-// remote) fails to answer — never a fabricated "unreachable", and never
-// a cached one.
+// malformed input, 401/403 for admin requests with a bad/absent token,
+// 404 for an unreachable /v1/path pair, 405 for a wrong method, 413 for
+// an oversized batch, 501 for /v1/path on a backend without path
+// reconstruction (or admin updates on a read-only one), and 502 when a
+// fallible backend (disk, remote) fails to answer — never a fabricated
+// "unreachable", and never a cached one.
 package server
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,6 +67,10 @@ type Config struct {
 	Workers int
 	// Timeout bounds request handling end-to-end; 0 disables it.
 	Timeout time.Duration
+	// AdminToken is the bearer token gating the mutating admin API
+	// (POST /v1/admin/edges). Empty disables the admin surface entirely
+	// — requests answer 403 regardless of the backend's capabilities.
+	AdminToken string
 }
 
 // Server answers distance queries over HTTP from one shared Querier.
@@ -68,11 +78,14 @@ type Server struct {
 	q       hopdb.Querier
 	lookup  hopdb.Lookuper      // non-nil when q reports per-query errors
 	blookup hopdb.LookupBatcher // non-nil when q reports batch errors
+	updater hopdb.Updatable     // non-nil when q accepts online edge updates
 	backend hopdb.QuerierStats  // snapshot at startup (backend kind, directedness)
 	cfg     Config
-	cache   *distCache // nil when disabled
+	cache   *distCache       // nil when disabled
+	now     func() time.Time // injectable clock, for deterministic stats tests
 	start   time.Time
 	queries atomic.Int64 // individual pair lookups answered
+	adminMu sync.Mutex   // serializes admin mutations (one writer at a time)
 	ctxPool sync.Pool
 	handler http.Handler
 }
@@ -125,14 +138,16 @@ func New(q hopdb.Querier, cfg Config) *Server {
 		backend: backend,
 		cfg:     cfg,
 		cache:   newDistCache(cfg.CacheEntries, !backend.Directed),
-		start:   time.Now(),
+		now:     time.Now,
 	}
+	s.start = s.now()
 	// Fallible backends (disk, remote) expose per-query errors through
 	// the Lookuper extension; using it keeps an I/O or transport failure
 	// out of the distance cache and turns it into a 502 instead of a
 	// confidently wrong "unreachable".
 	s.lookup, _ = q.(hopdb.Lookuper)
 	s.blookup, _ = q.(hopdb.LookupBatcher)
+	s.updater, _ = q.(hopdb.Updatable)
 	s.ctxPool.New = func() any { return &queryCtx{} }
 
 	mux := http.NewServeMux()
@@ -145,6 +160,9 @@ func New(q hopdb.Querier, cfg Config) *Server {
 		mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
 		mux.HandleFunc(prefix+"/stats", s.handleStats)
 	}
+	// The mutating admin surface exists only under /v1: it post-dates
+	// the unversioned aliases, so no legacy spelling is owed.
+	mux.HandleFunc("/v1/admin/edges", s.handleAdminEdges)
 	var h http.Handler = mux
 	if cfg.Timeout > 0 {
 		h = http.TimeoutHandler(h, cfg.Timeout, `{"error":"request timed out"}`)
@@ -198,19 +216,23 @@ func (s *Server) queryBatch(dists []uint32, pairs []hopdb.QueryPair) error {
 
 // distance answers one pair through the cache (when enabled). Failed
 // queries are never cached: a transport or I/O error must not be served
-// as a durable "unreachable" after the backend recovers.
+// as a durable "unreachable" after the backend recovers. The cache
+// generation is captured before the backend query so an answer computed
+// against pre-update labels can never outlive an admin update's purge.
 func (s *Server) distance(sv, tv int32) (uint32, error) {
+	var gen uint32
 	if s.cache != nil {
 		if d, ok := s.cache.get(sv, tv); ok {
 			return d, nil
 		}
+		gen = s.cache.generation()
 	}
 	d, err := s.queryOne(sv, tv)
 	if err != nil {
 		return d, err
 	}
 	if s.cache != nil {
-		s.cache.put(sv, tv, d)
+		s.cache.put(sv, tv, d, gen)
 	}
 	return d, nil
 }
@@ -241,12 +263,13 @@ func (s *Server) distanceBatch(qc *queryCtx) error {
 		qc.missDists = make([]uint32, len(qc.missPairs))
 	}
 	qc.missDists = qc.missDists[:len(qc.missPairs)]
+	gen := s.cache.generation() // before the backend query; see distance
 	if err := s.queryBatch(qc.missDists, qc.missPairs); err != nil {
 		return err
 	}
 	for j, i := range qc.missIdx {
 		dists[i] = qc.missDists[j]
-		s.cache.put(pairs[i].S, pairs[i].T, qc.missDists[j])
+		s.cache.put(pairs[i].S, pairs[i].T, qc.missDists[j], gen)
 	}
 	return nil
 }
@@ -453,12 +476,94 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleAdminEdges is the mutating admin API: POST /v1/admin/edges with
+// a JSON array of edge operations ([{"op":"insert","u":1,"v":2,"w":3},
+// {"op":"delete","u":4,"v":5}]). It is gated twice: the server must have
+// been started with an admin token (else 403, regardless of backend),
+// and the request must carry it as "Authorization: Bearer <token>" (else
+// 401). A read-only backend answers 501. Ops apply in order; on failure
+// the response reports how many applied, and the distance cache is
+// purged whenever at least one op changed the graph.
+func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.cfg.AdminToken == "" {
+		writeError(w, http.StatusForbidden, "admin API disabled; start the server with an admin token")
+		return
+	}
+	auth, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(auth), []byte(s.cfg.AdminToken)) != 1 {
+		writeError(w, http.StatusUnauthorized, "missing or invalid admin bearer token")
+		return
+	}
+	if s.updater == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("the %s backend is read-only; edge updates need hopdb-serve -updates (heap index with a graph)", s.backend.Backend))
+		return
+	}
+	// Ops are small fixed-shape objects; the JSON-batch body heuristic
+	// (64 bytes per element) bounds them comfortably too.
+	maxBody := int64(s.cfg.MaxBatch)*64 + 64
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	var ops []hopdb.EdgeOp
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ops); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes (max-batch is %d ops)", maxBody, s.cfg.MaxBatch))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "body must be a JSON array of edge ops: "+err.Error())
+		return
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("trailing data after the ops array (%v)", tok))
+		return
+	}
+	if len(ops) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("update of %d ops exceeds the limit of %d", len(ops), s.cfg.MaxBatch))
+		return
+	}
+
+	s.adminMu.Lock()
+	applied, err := hopdb.ApplyEdgeOps(s.updater, ops)
+	s.adminMu.Unlock()
+	if applied > 0 && s.cache != nil {
+		// Every cached pair may now answer from a stale graph.
+		s.cache.purge()
+	}
+	st := s.updater.UpdateStats()
+	res := wire.UpdateResult{Applied: applied, Stats: &st}
+	if err != nil {
+		res.Error = err.Error()
+		// Validation failures (bad vertex, missing edge, bad weight,
+		// unknown op) are the client's fault; anything else — e.g. a
+		// failed internal rebuild — is ours and must not masquerade as
+		// a malformed request.
+		status := http.StatusInternalServerError
+		for _, sentinel := range []error{hopdb.ErrNoEdge, hopdb.ErrVertexRange, hopdb.ErrSelfLoop, hopdb.ErrWeightRange, hopdb.ErrUnknownOp} {
+			if errors.Is(err, sentinel) {
+				status = http.StatusBadRequest
+				break
+			}
+		}
+		writeJSON(w, status, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 // Stats snapshots the serving counters (also served as /v1/stats). The
-// cache section is present only when the cache is enabled, and the
-// backend kind tells operators which regime (heap/mmap/disk/remote) is
-// answering.
+// cache section is present only when the cache is enabled, the updates
+// section only when the backend accepts online edge updates, and the
+// backend kind tells operators which regime (heap/mmap/disk/remote/
+// dynamic) is answering.
 func (s *Server) Stats() StatsResult {
-	uptime := time.Since(s.start).Seconds()
+	uptime := s.now().Sub(s.start).Seconds()
 	queries := s.queries.Load()
 	st := s.q.Stats()
 	res := StatsResult{
@@ -486,6 +591,10 @@ func (s *Server) Stats() StatsResult {
 			cs.HitRate = float64(hits) / float64(hits+misses)
 		}
 		res.Cache = cs
+	}
+	if s.updater != nil {
+		us := s.updater.UpdateStats()
+		res.Updates = &us
 	}
 	return res
 }

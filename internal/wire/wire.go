@@ -42,6 +42,10 @@ const (
 	BackendDisk Backend = "disk"
 	// BackendRemote forwards queries to a hopdb-serve instance over HTTP.
 	BackendRemote Backend = "remote"
+	// BackendDynamic serves from heap labels that are maintained online:
+	// the index accepts InsertEdge/DeleteEdge and republishes a fresh
+	// immutable label epoch after every effective mutation.
+	BackendDynamic Backend = "dynamic"
 )
 
 // QuerierStats describes a query backend: what serves the answers and how
@@ -115,6 +119,62 @@ type StatsResult struct {
 	// a disabled cache omits the whole section instead of reporting
 	// misleading zeros.
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Updates is present only when the backend accepts online edge
+	// updates (hopdb.Updatable); read-only backends omit the section.
+	Updates *UpdateStats `json:"updates,omitempty"`
+}
+
+// UpdateStats describes what online label maintenance has done so far;
+// served in /v1/stats ("updates" section) and by hopdb.Updatable. The
+// root package aliases it as hopdb.UpdateStats.
+type UpdateStats struct {
+	// Inserts and Deletes count effective mutations (ones that changed
+	// the graph); NoOps counts requests that changed nothing (inserting
+	// an existing edge at no better weight).
+	Inserts int64 `json:"inserts"`
+	Deletes int64 `json:"deletes"`
+	NoOps   int64 `json:"noops"`
+	// PartialRepairs counts deletions absorbed by a bounded repair of
+	// the suspect roots; FullRebuilds counts deletions (or accumulated
+	// staleness) that forced reconstruction from scratch.
+	PartialRepairs int64 `json:"partial_repairs"`
+	FullRebuilds   int64 `json:"full_rebuilds"`
+	// DirtyVertices is the cumulative number of repaired label roots
+	// since the last full rebuild; Staleness is that count over |V|,
+	// the fraction the rebuild threshold is compared against.
+	DirtyVertices int64   `json:"dirty_vertices"`
+	Staleness     float64 `json:"staleness"`
+	// Epoch counts published label versions: it advances by exactly one
+	// per effective mutation, so readers can correlate answers with
+	// graph states.
+	Epoch int64 `json:"epoch"`
+}
+
+// EdgeOp is one edge mutation of an update batch: the body element of
+// POST /v1/admin/edges and the parsed form of a hopdb-update delta line.
+type EdgeOp struct {
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+	// W is the edge weight for inserts into weighted graphs; zero means
+	// 1. Ignored for deletes and for unweighted graphs.
+	W int32 `json:"w,omitempty"`
+}
+
+// Edge operation names for EdgeOp.Op.
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+)
+
+// UpdateResult is the JSON answer for POST /v1/admin/edges. Applied
+// counts the ops executed before the first failure (all of them on
+// success), so a client can resume a partially applied batch.
+type UpdateResult struct {
+	Applied int          `json:"applied"`
+	Error   string       `json:"error,omitempty"`
+	Stats   *UpdateStats `json:"stats,omitempty"`
 }
 
 // CacheStats reports distance-cache effectiveness in /v1/stats.

@@ -7,6 +7,7 @@ import (
 
 	"repro/client"
 	"repro/internal/diskidx"
+	"repro/internal/dynamic"
 )
 
 // OpenOption configures Open; see WithMmap, WithDisk, WithGraph,
@@ -14,14 +15,16 @@ import (
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	mmap    bool
-	disk    bool
-	diskOpt DiskOptions
-	graph   *Graph
-	bp      bool
-	bpRoots int
-	remote  string
-	httpc   *http.Client
+	mmap      bool
+	disk      bool
+	diskOpt   DiskOptions
+	graph     *Graph
+	bp        bool
+	bpRoots   int
+	remote    string
+	httpc     *http.Client
+	updates   bool
+	updateOpt UpdateOptions
 }
 
 // WithMmap memory-maps the index file (v2 flat format) instead of
@@ -71,6 +74,18 @@ func WithHTTPClient(hc *http.Client) OpenOption {
 	return func(c *openConfig) { c.httpc = hc }
 }
 
+// WithUpdates opens the index for online edge updates: the returned
+// Querier also implements Updatable (InsertEdge/DeleteEdge patch the
+// labels in place and publish a fresh immutable epoch, so concurrent
+// readers never block). Requires WithGraph — maintenance walks the
+// adjacency — and the labels are read into heap memory: combining
+// WithUpdates with WithMmap, WithDisk, WithRemote, or WithBitParallel is
+// an error (those backends serve read-only label images). The backend
+// kind is BackendDynamic.
+func WithUpdates(opt UpdateOptions) OpenOption {
+	return func(c *openConfig) { c.updates = true; c.updateOpt = opt }
+}
+
 // Open is the single entry point for opening a saved index for querying,
 // whatever regime it should serve from:
 //
@@ -92,10 +107,33 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 		if path != "" {
 			return nil, fmt.Errorf("hopdb: Open: path must be empty with WithRemote, got %q", path)
 		}
-		if cfg.mmap || cfg.disk || cfg.graph != nil || cfg.bp {
+		if cfg.mmap || cfg.disk || cfg.graph != nil || cfg.bp || cfg.updates {
 			return nil, fmt.Errorf("hopdb: Open: WithRemote cannot be combined with local-backend options")
 		}
 		return client.New(cfg.remote, client.Options{HTTPClient: cfg.httpc})
+	}
+	if cfg.updates {
+		if cfg.mmap || cfg.disk {
+			return nil, fmt.Errorf("hopdb: Open: WithUpdates needs heap labels; it cannot be combined with WithMmap or WithDisk")
+		}
+		if cfg.bp {
+			return nil, fmt.Errorf("hopdb: Open: WithUpdates cannot be combined with WithBitParallel (the bit-parallel image would go stale)")
+		}
+		if cfg.graph == nil {
+			return nil, fmt.Errorf("hopdb: Open: WithUpdates requires WithGraph (maintenance walks the adjacency)")
+		}
+		idx, err := loadIndex(path)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := dynamic.New(idx.flat, cfg.graph, dynamic.Options{
+			MaxStaleFraction:   cfg.updateOpt.MaxStaleFraction,
+			RebuildParallelism: cfg.updateOpt.RebuildParallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &dynQuerier{d: dyn}, nil
 	}
 	if cfg.disk {
 		if cfg.mmap {

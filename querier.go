@@ -20,6 +20,9 @@ const (
 	// BackendRemote forwards queries to a hopdb-serve instance over HTTP
 	// (Open with WithRemote).
 	BackendRemote = wire.BackendRemote
+	// BackendDynamic serves from heap labels maintained online (Open
+	// with WithUpdates); the Querier also implements Updatable.
+	BackendDynamic = wire.BackendDynamic
 )
 
 // QuerierStats describes a query backend: what serves the answers and
@@ -86,11 +89,16 @@ type LookupBatcher interface {
 var (
 	_ Querier       = (*Index)(nil)
 	_ Querier       = (*diskQuerier)(nil)
+	_ Querier       = (*dynQuerier)(nil)
 	_ Pather        = (*Index)(nil)
+	_ Pather        = (*dynQuerier)(nil)
 	_ Lookuper      = (*Index)(nil)
 	_ Lookuper      = (*diskQuerier)(nil)
+	_ Lookuper      = (*dynQuerier)(nil)
 	_ LookupBatcher = (*Index)(nil)
 	_ LookupBatcher = (*diskQuerier)(nil)
+	_ LookupBatcher = (*dynQuerier)(nil)
+	_ Updatable     = (*dynQuerier)(nil)
 )
 
 // Lookup implements Lookuper; in-memory queries cannot fail, so the

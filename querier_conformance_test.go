@@ -262,6 +262,152 @@ func TestQuerierConformanceBackendsAgree(t *testing.T) {
 	}
 }
 
+// TestQuerierConformanceUpdated extends the suite to indexes mutated
+// online: for every conformance graph, a WithUpdates backend applies a
+// deterministic mix of deletes and inserts, and then the live dynamic
+// querier AND the patched file reopened through the heap and mmap
+// backends must all answer the mutated graph's ground truth exactly —
+// verifying that patched labels persist.
+func TestQuerierConformanceUpdated(t *testing.T) {
+	for _, gc := range confGraphs() {
+		t.Run(gc.name, func(t *testing.T) {
+			g := gc.build(t)
+			n := g.N()
+			idx, _, err := hopdb.Build(g, hopdb.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			idxPath := filepath.Join(dir, "upd.idx")
+			if err := idx.Save(idxPath); err != nil {
+				t.Fatal(err)
+			}
+			q, err := hopdb.Open(idxPath, hopdb.WithGraph(g), hopdb.WithUpdates(hopdb.UpdateOptions{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { q.Close() })
+			u := q.(hopdb.Updatable)
+
+			// Mirror the edge set; mutate: delete the first and middle
+			// edges, insert the first three non-edges found (weight 2 on
+			// weighted graphs).
+			type edge struct{ a, b int32 }
+			canon := func(a, b int32) edge {
+				if !gc.directed && a > b {
+					a, b = b, a
+				}
+				return edge{a, b}
+			}
+			edges := map[edge]int32{}
+			var list []edge
+			for a := int32(0); a < n; a++ {
+				ws := g.OutWeights(a)
+				for i, b := range g.OutNeighbors(a) {
+					if !gc.directed && a > b {
+						continue
+					}
+					w := int32(1)
+					if ws != nil {
+						w = ws[i]
+					}
+					k := canon(a, b)
+					if _, ok := edges[k]; !ok {
+						list = append(list, k)
+					}
+					edges[k] = w
+				}
+			}
+			var ops []hopdb.EdgeOp
+			for _, k := range []edge{list[0], list[len(list)/2]} {
+				ops = append(ops, hopdb.EdgeOp{Op: hopdb.OpDelete, U: k.a, V: k.b})
+				delete(edges, k)
+			}
+			inserted := 0
+			for a := int32(0); a < n && inserted < 3; a++ {
+				for b := int32(0); b < n && inserted < 3; b++ {
+					k := canon(a, b)
+					if a == b {
+						continue
+					}
+					if _, ok := edges[k]; ok {
+						continue
+					}
+					w := int32(1)
+					if gc.weighted {
+						w = 2
+					}
+					ops = append(ops, hopdb.EdgeOp{Op: hopdb.OpInsert, U: k.a, V: k.b, W: w})
+					edges[k] = w
+					inserted++
+				}
+			}
+			if applied, err := hopdb.ApplyEdgeOps(u, ops); err != nil {
+				t.Fatalf("applied %d ops, then: %v", applied, err)
+			}
+
+			// Ground truth of the mutated graph.
+			b := hopdb.NewGraphBuilder(gc.directed, gc.weighted)
+			b.Grow(n)
+			for k, w := range edges {
+				b.AddEdge(k.a, k.b, w)
+			}
+			mutated, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := sp.AllPairs(mutated)
+
+			patched := filepath.Join(dir, "patched.idx")
+			if err := u.Save(patched); err != nil {
+				t.Fatal(err)
+			}
+			backends := []confBackend{
+				{name: "dynamic", kind: hopdb.BackendDynamic, querier: q},
+			}
+			open := func(name string, kind hopdb.Backend, opts ...hopdb.OpenOption) {
+				rq, err := hopdb.Open(patched, opts...)
+				if err != nil {
+					t.Fatalf("reopening %s: %v", name, err)
+				}
+				t.Cleanup(func() { rq.Close() })
+				backends = append(backends, confBackend{name: name, kind: kind, querier: rq})
+			}
+			open("heap-reopened", hopdb.BackendHeap)
+			open("mmap-reopened", hopdb.BackendMmap, hopdb.WithMmap())
+
+			var pairs []hopdb.QueryPair
+			var want []uint32
+			for s := int32(0); s < n; s++ {
+				for v := int32(0); v < n; v++ {
+					pairs = append(pairs, hopdb.QueryPair{S: s, T: v})
+					want = append(want, truth[s][v])
+				}
+			}
+			pairs = append(pairs, hopdb.QueryPair{S: -1, T: 0}, hopdb.QueryPair{S: 0, T: n + 3})
+			want = append(want, hopdb.Infinity, hopdb.Infinity)
+			for _, be := range backends {
+				t.Run(be.name, func(t *testing.T) {
+					if st := be.querier.Stats(); st.Backend != be.kind {
+						t.Errorf("Stats().Backend = %q, want %q", st.Backend, be.kind)
+					}
+					for i, p := range pairs {
+						if d, _ := be.querier.Distance(p.S, p.T); d != want[i] {
+							t.Fatalf("Distance(%d,%d) = %d, want %d", p.S, p.T, d, want[i])
+						}
+					}
+					out := be.querier.DistanceBatchInto(make([]uint32, len(pairs)), pairs, 3)
+					for i := range out {
+						if out[i] != want[i] {
+							t.Fatalf("batch[%d] (%d,%d) = %d, want %d", i, pairs[i].S, pairs[i].T, out[i], want[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestOpenOptionValidation pins the Open misuse errors.
 func TestOpenOptionValidation(t *testing.T) {
 	gc := confGraphs()[0]

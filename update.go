@@ -1,0 +1,239 @@
+package hopdb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dynamic"
+	"repro/internal/wire"
+)
+
+// UpdateStats describes what online label maintenance has done so far;
+// see Updatable.UpdateStats and the /v1/stats "updates" section.
+type UpdateStats = wire.UpdateStats
+
+// EdgeOp is one edge mutation: the element type of ApplyEdgeOps, of
+// delta files (ParseEdgeDelta), and of POST /v1/admin/edges bodies.
+type EdgeOp = wire.EdgeOp
+
+// Edge operation names for EdgeOp.Op.
+const (
+	OpInsert = wire.OpInsert
+	OpDelete = wire.OpDelete
+)
+
+// Update errors, re-exported from the maintenance engine for errors.Is.
+var (
+	// ErrNoEdge is returned by DeleteEdge when the edge does not exist.
+	ErrNoEdge = dynamic.ErrNoEdge
+	// ErrVertexRange is returned when an update names a vertex outside
+	// [0, N); the vertex set of an updatable index is fixed at open time.
+	ErrVertexRange = dynamic.ErrVertexRange
+	// ErrSelfLoop is returned for updates with u == v.
+	ErrSelfLoop = dynamic.ErrSelfLoop
+	// ErrWeightRange is returned for insert weights beyond the graph
+	// weight bound.
+	ErrWeightRange = dynamic.ErrWeightRange
+	// ErrUnknownOp is returned by ApplyEdgeOps for an EdgeOp whose Op is
+	// neither OpInsert nor OpDelete.
+	ErrUnknownOp = errors.New("hopdb: unknown edge op")
+)
+
+// UpdateOptions tunes online label maintenance; see WithUpdates.
+type UpdateOptions struct {
+	// MaxStaleFraction is the dirty-vertex budget (as a fraction of the
+	// vertex count) a DeleteEdge may accumulate before the labels are
+	// rebuilt from scratch instead of partially repaired. Zero selects
+	// the default of 0.25.
+	MaxStaleFraction float64
+	// RebuildParallelism shards full rebuilds across goroutines;
+	// <= 1 rebuilds serially.
+	RebuildParallelism int
+}
+
+// Updatable is the optional extension of Querier for backends that
+// accept online edge updates: an index opened with WithUpdates. Insert
+// and delete both publish a fresh immutable label epoch before
+// returning, so concurrent Distance readers never block and never
+// observe a half-applied update — each query (and each batch) answers
+// from either the pre- or the post-update graph.
+type Updatable interface {
+	// InsertEdge adds the edge u->v (undirected: {u,v}) with weight w
+	// (ignored for unweighted graphs; <= 0 means 1) and patches the
+	// labels incrementally. Inserting an existing edge is a no-op
+	// unless the weight improves.
+	InsertEdge(u, v, w int32) error
+	// DeleteEdge removes the edge u->v, repairing the affected labels
+	// (or rebuilding them past the staleness threshold). Returns
+	// ErrNoEdge if the edge is not present.
+	DeleteEdge(u, v int32) error
+	// UpdateStats snapshots the maintenance counters.
+	UpdateStats() UpdateStats
+	// Save writes the current label epoch in the v2 flat format, so a
+	// patched index can be reopened later (heap or mmap) without a
+	// rebuild.
+	Save(path string) error
+}
+
+// dynQuerier adapts the maintenance engine to the Querier contract. Each
+// single query loads the current epoch once; each batch loads it once
+// for the whole batch, so a batch is answered from one consistent graph
+// state even while a writer streams updates.
+type dynQuerier struct {
+	d *dynamic.Index
+}
+
+func (q *dynQuerier) Distance(s, t int32) (uint32, bool) {
+	d := q.d.Current().Distance(s, t)
+	return d, d != Infinity
+}
+
+func (q *dynQuerier) DistanceBatchInto(results []uint32, pairs []QueryPair, workers int) []uint32 {
+	f := q.d.Current()
+	return batchInto(results, pairs, workers, func(pairs []QueryPair, results []uint32) {
+		for i, p := range pairs {
+			results[i] = f.Distance(p.S, p.T)
+		}
+	})
+}
+
+// Lookup implements Lookuper; in-memory queries cannot fail.
+func (q *dynQuerier) Lookup(s, t int32) (uint32, bool, error) {
+	d, ok := q.Distance(s, t)
+	return d, ok, nil
+}
+
+// LookupBatchInto implements LookupBatcher; in-memory batches cannot
+// fail.
+func (q *dynQuerier) LookupBatchInto(results []uint32, pairs []QueryPair, workers int) ([]uint32, error) {
+	return q.DistanceBatchInto(results, pairs, workers), nil
+}
+
+func (q *dynQuerier) N() int32 { return q.d.N() }
+
+func (q *dynQuerier) Stats() QuerierStats {
+	f := q.d.Current()
+	return QuerierStats{
+		Backend:   BackendDynamic,
+		Directed:  f.Directed,
+		Vertices:  f.N,
+		Entries:   f.Entries(),
+		SizeBytes: f.SizeBytes(),
+	}
+}
+
+func (q *dynQuerier) Close() error { return nil }
+
+// Path implements Pather: the dynamic backend always holds the live
+// adjacency, so path reconstruction works (briefly serializing with
+// writers so the walk sees one consistent graph state).
+func (q *dynQuerier) Path(s, t int32) ([]int32, error) { return q.d.Path(s, t) }
+
+func (q *dynQuerier) InsertEdge(u, v, w int32) error { return q.d.InsertEdge(u, v, w) }
+func (q *dynQuerier) DeleteEdge(u, v int32) error    { return q.d.DeleteEdge(u, v) }
+func (q *dynQuerier) UpdateStats() UpdateStats       { return q.d.Stats() }
+
+// Save writes the current label epoch in the v2 flat format.
+func (q *dynQuerier) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := q.d.Current().Write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// ApplyEdgeOps applies ops to an updatable index in order, returning how
+// many were applied and the first failure (ops after it are not
+// attempted, so a caller can fix the offending op and resume from it).
+func ApplyEdgeOps(u Updatable, ops []EdgeOp) (int, error) {
+	for i, op := range ops {
+		var err error
+		switch op.Op {
+		case OpInsert:
+			err = u.InsertEdge(op.U, op.V, op.W)
+		case OpDelete:
+			err = u.DeleteEdge(op.U, op.V)
+		default:
+			err = fmt.Errorf("%w %q (want %q or %q)", ErrUnknownOp, op.Op, OpInsert, OpDelete)
+		}
+		if err != nil {
+			return i, fmt.Errorf("op %d (%s %d %d): %w", i, op.Op, op.U, op.V, err)
+		}
+	}
+	return len(ops), nil
+}
+
+// ParseEdgeDelta reads a textual edge-delta stream, one operation per
+// line ('#' and '%' start comments, blank lines are skipped):
+//
+//	"+ u v"      insert edge (weight 1)
+//	"+ u v w"    insert edge with weight w (weighted graphs)
+//	"- u v"      delete edge
+//
+// It is the format hopdb-update applies to an on-disk index.
+func ParseEdgeDelta(r io.Reader) ([]EdgeOp, error) {
+	var ops []EdgeOp
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, "#%"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		op := EdgeOp{}
+		switch fields[0] {
+		case "+":
+			op.Op = OpInsert
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("hopdb: delta line %d: want \"+ u v [w]\", got %q", lineNo, sc.Text())
+			}
+		case "-":
+			op.Op = OpDelete
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("hopdb: delta line %d: want \"- u v\", got %q", lineNo, sc.Text())
+			}
+		default:
+			return nil, fmt.Errorf("hopdb: delta line %d: operations start with + or -, got %q", lineNo, sc.Text())
+		}
+		parse := func(s, what string) (int32, error) {
+			v, err := strconv.ParseInt(s, 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("hopdb: delta line %d: bad %s %q", lineNo, what, s)
+			}
+			return int32(v), nil
+		}
+		var err error
+		if op.U, err = parse(fields[1], "vertex"); err != nil {
+			return nil, err
+		}
+		if op.V, err = parse(fields[2], "vertex"); err != nil {
+			return nil, err
+		}
+		if len(fields) == 4 {
+			if op.W, err = parse(fields[3], "weight"); err != nil {
+				return nil, err
+			}
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hopdb: reading delta: %w", err)
+	}
+	return ops, nil
+}
