@@ -1,17 +1,31 @@
 // Package client is the remote query backend: a hopdb.Querier that
-// forwards distance queries to a hopdb-serve instance over its versioned
-// /v1 HTTP API, making a served index a drop-in replacement for a local
-// one. Batches use the compact binary encoding by default (8 bytes per
-// pair, zero reflection on either side); set Options.JSONBatch to force
-// JSON.
+// forwards distance queries to one or more hopdb-serve (or hopdb-router)
+// instances over the versioned /v1 HTTP API, making a served index a
+// drop-in replacement for a local one. Batches use the compact binary
+// encoding by default (8 bytes per pair, zero reflection on either
+// side); set Options.JSONBatch to force JSON.
 //
-// The blessed way to construct one is hopdb.Open with WithRemote:
+// Resilience: transient failures — connection errors, 502/503/504 —
+// retry with capped exponential backoff and jitter, rotating across the
+// configured endpoints, so one broken replica degrades latency instead
+// of surfacing as a query error. Permanent failures (4xx, malformed
+// responses) are reported immediately.
+//
+// The blessed way to construct one is hopdb.Open with WithRemote (one
+// endpoint) or WithRemotes (a replica fleet):
 //
 //	q, err := hopdb.Open("", hopdb.WithRemote("http://host:8080"))
+//	q, err := hopdb.Open("", hopdb.WithRemotes("http://a:8080", "http://b:8080"))
 //
-// which returns a *Client. Use New directly when the extra error-
-// reporting methods (Lookup, Batch, ServerStats) are wanted without a
-// type assertion.
+// which returns a *Client. Use New/NewMulti directly when the extra
+// error-reporting methods (Lookup, Batch, ServerStats) are wanted
+// without a type assertion.
+//
+// Read-your-writes: after a write at the primary (the seq field of the
+// update response), SetMinSeq makes every subsequent query demand that
+// sequence via the X-Hopdb-Min-Seq header; a replica still behind it
+// answers 503, which the retry loop treats as transient — so the query
+// lands on a caught-up replica or fails only after the backoff budget.
 //
 // A Client is safe for concurrent use.
 package client
@@ -21,10 +35,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -38,6 +55,13 @@ type QueryPair = wire.QueryPair
 // hopdb.Infinity.
 const Infinity = wire.Infinity
 
+// Retry defaults; see Options.
+const (
+	DefaultMaxAttempts = 3
+	DefaultRetryBase   = 25 * time.Millisecond
+	DefaultRetryMax    = 1 * time.Second
+)
+
 // Options tunes a Client.
 type Options struct {
 	// HTTPClient overrides the http.Client used for requests. The
@@ -47,17 +71,32 @@ type Options struct {
 	// the compact binary encoding (for debugging, or intermediaries that
 	// only pass JSON through).
 	JSONBatch bool
+	// MaxAttempts bounds how many times one logical request is tried
+	// across transient failures (connection errors, 502/503/504),
+	// rotating endpoints between attempts. 0 selects
+	// DefaultMaxAttempts; 1 disables retry.
+	MaxAttempts int
+	// RetryBase is the backoff before the second attempt; it doubles
+	// per attempt, capped at RetryMax, with jitter in [1/2, 1) of the
+	// computed delay. Zeros select DefaultRetryBase/DefaultRetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
-// Client answers distance queries by calling a hopdb-serve instance.
+// Client answers distance queries by calling hopdb-serve instances.
 type Client struct {
-	base  string
-	httpc *http.Client
-	json  bool
+	endpoints []string
+	cur       atomic.Int32 // index of the endpoint new requests prefer
+	httpc     *http.Client
+	json      bool
+	attempts  int
+	retryBase time.Duration
+	retryMax  time.Duration
+	minSeq    atomic.Int64
 
 	// handshake is the /v1/stats snapshot taken by New: it pins the
 	// vertex count and directedness the Querier contract reports even
-	// when the server is briefly unreachable later.
+	// when the servers are briefly unreachable later.
 	handshake wire.StatsResult
 
 	// bufPool recycles binary batch request bodies so steady-state
@@ -65,13 +104,28 @@ type Client struct {
 	bufPool sync.Pool
 }
 
-// New connects to a hopdb-serve instance at baseURL (e.g.
+// New connects to a single hopdb-serve instance at baseURL (e.g.
 // "http://127.0.0.1:8080") and verifies it by fetching /v1/stats. The
 // returned Client implements hopdb.Querier and hopdb.Pather.
 func New(baseURL string, opt Options) (*Client, error) {
-	u, err := url.Parse(baseURL)
-	if err != nil || u.Scheme == "" || u.Host == "" {
-		return nil, fmt.Errorf("client: invalid server URL %q", baseURL)
+	return NewMulti([]string{baseURL}, opt)
+}
+
+// NewMulti connects to a fleet of equivalent servers (replicas of the
+// same index, or routers in front of one). Requests prefer one endpoint
+// at a time and fail over to the next on transient errors; the handshake
+// succeeds if any endpoint answers.
+func NewMulti(urls []string, opt Options) (*Client, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("client: no endpoints given")
+	}
+	endpoints := make([]string, len(urls))
+	for i, raw := range urls {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("client: invalid server URL %q", raw)
+		}
+		endpoints[i] = strings.TrimRight(raw, "/")
 	}
 	httpc := opt.HTTPClient
 	if httpc == nil {
@@ -82,25 +136,111 @@ func New(baseURL string, opt Options) (*Client, error) {
 			},
 		}
 	}
+	attempts := opt.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	base, max := opt.RetryBase, opt.RetryMax
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
 	c := &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		httpc: httpc,
-		json:  opt.JSONBatch,
+		endpoints: endpoints,
+		httpc:     httpc,
+		json:      opt.JSONBatch,
+		attempts:  attempts,
+		retryBase: base,
+		retryMax:  max,
 	}
 	c.bufPool.New = func() any { return new([]byte) }
 	st, err := c.ServerStats()
 	if err != nil {
-		return nil, fmt.Errorf("client: handshake with %s failed: %w", c.base, err)
+		return nil, fmt.Errorf("client: handshake failed: %w", err)
 	}
 	c.handshake = st
 	return c, nil
+}
+
+// SetMinSeq demands read-your-writes freshness: every subsequent query
+// carries X-Hopdb-Min-Seq, so replicas still behind seq answer 503 and
+// the retry loop moves on to a caught-up one. Use the seq field of the
+// admin update response (or Seq of a local Replicator). Zero clears the
+// demand. Monotonic use is the caller's business: SetMinSeq overwrites.
+func (c *Client) SetMinSeq(seq int64) { c.minSeq.Store(seq) }
+
+// MinSeq returns the current read-your-writes demand (zero when none).
+func (c *Client) MinSeq() int64 { return c.minSeq.Load() }
+
+// backoff computes the sleep before attempt a (a >= 1): exponential from
+// retryBase, capped at retryMax, with jitter drawn uniformly from the
+// upper half of the window so synchronized clients spread out.
+func (c *Client) backoff(a int) time.Duration {
+	d := c.retryBase << (a - 1)
+	if d > c.retryMax || d <= 0 {
+		d = c.retryMax
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// advance rotates the preferred endpoint away from the one that just
+// failed (CAS so concurrent failures rotate once, not once each).
+func (c *Client) advance(from int32) {
+	c.cur.CompareAndSwap(from, (from+1)%int32(len(c.endpoints)))
+}
+
+// do performs one logical request with retry and endpoint failover:
+// method + path (with query) against the preferred endpoint, resending
+// body each attempt. Transient failures rotate endpoints and back off;
+// the caller owns the returned response body. contentType is set when
+// body != nil.
+func (c *Client) do(method, path, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for a := 0; a < c.attempts; a++ {
+		if a > 0 {
+			time.Sleep(c.backoff(a))
+		}
+		cur := c.cur.Load()
+		base := c.endpoints[int(cur)%len(c.endpoints)]
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if min := c.minSeq.Load(); min > 0 {
+			req.Header.Set(wire.HeaderMinSeq, strconv.FormatInt(min, 10))
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			lastErr = err
+			c.advance(cur)
+			continue
+		}
+		if wire.TransientStatus(resp.StatusCode) {
+			lastErr = httpError(resp)
+			drain(resp)
+			c.advance(cur)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("client: %d attempts failed: %w", c.attempts, lastErr)
 }
 
 // Lookup answers one pair with full error reporting: the distance,
 // whether t is reachable from s, and any transport or server error.
 func (c *Client) Lookup(s, t int32) (uint32, bool, error) {
 	var res wire.DistanceResult
-	if err := c.getJSON(fmt.Sprintf("%s/v1/distance?s=%d&t=%d", c.base, s, t), &res); err != nil {
+	if err := c.getJSON(fmt.Sprintf("/v1/distance?s=%d&t=%d", s, t), &res); err != nil {
 		return Infinity, false, err
 	}
 	if !res.Reachable || res.Distance == nil {
@@ -139,7 +279,7 @@ func (c *Client) batchBinary(results []uint32, pairs []QueryPair) ([]uint32, err
 	bufp := c.bufPool.Get().(*[]byte)
 	defer c.bufPool.Put(bufp)
 	*bufp = wire.AppendBatchRequest((*bufp)[:0], pairs)
-	resp, err := c.httpc.Post(c.base+"/v1/batch", wire.ContentTypeBinaryBatch, bytes.NewReader(*bufp))
+	resp, err := c.do(http.MethodPost, "/v1/batch", wire.ContentTypeBinaryBatch, *bufp)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +310,7 @@ func (c *Client) batchJSON(results []uint32, pairs []QueryPair) ([]uint32, error
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpc.Post(c.base+"/v1/batch", "application/json", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, "/v1/batch", "application/json", body)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +362,7 @@ func (c *Client) LookupBatchInto(results []uint32, pairs []QueryPair, workers in
 // hopdb.ErrUnreachable when no path exists, so callers handle local and
 // remote backends with the same errors.Is checks.
 func (c *Client) Path(s, t int32) ([]int32, error) {
-	resp, err := c.httpc.Get(fmt.Sprintf("%s/v1/path?s=%d&t=%d", c.base, s, t))
+	resp, err := c.do(http.MethodGet, fmt.Sprintf("/v1/path?s=%d&t=%d", s, t), "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -243,11 +383,11 @@ func (c *Client) Path(s, t int32) ([]int32, error) {
 	}
 }
 
-// ServerStats fetches the server's live /v1/stats snapshot: serving
-// backend kind, uptime, query counters, and cache effectiveness.
+// ServerStats fetches the preferred server's live /v1/stats snapshot:
+// serving backend kind, uptime, query counters, and cache effectiveness.
 func (c *Client) ServerStats() (wire.StatsResult, error) {
 	var st wire.StatsResult
-	err := c.getJSON(c.base+"/v1/stats", &st)
+	err := c.getJSON("/v1/stats", &st)
 	return st, err
 }
 
@@ -277,9 +417,9 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// getJSON fetches url and decodes a JSON 200 response into v.
-func (c *Client) getJSON(url string, v any) error {
-	resp, err := c.httpc.Get(url)
+// getJSON fetches path and decodes a JSON 200 response into v.
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.do(http.MethodGet, path, "", nil)
 	if err != nil {
 		return err
 	}

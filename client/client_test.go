@@ -2,8 +2,11 @@ package client_test
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	hopdb "repro"
 	"repro/client"
@@ -187,5 +190,141 @@ func TestOpenWithRemote(t *testing.T) {
 	}
 	if _, err := hopdb.Open("", hopdb.WithRemote("not a url")); err == nil {
 		t.Error("Open(WithRemote) accepted a garbage URL")
+	}
+}
+
+// flakyHandler answers 503 for the first fail requests to a path (the
+// handshake /v1/stats is never failed so New succeeds), then delegates.
+func flakyFront(inner http.Handler, fail int) http.Handler {
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stats" && n.Add(1) <= int64(fail) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"warming up"}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func TestClientRetriesTransient(t *testing.T) {
+	idx := testIndex(t, true)
+	inner := server.New(idx, server.Config{}).Handler()
+	ts := httptest.NewServer(flakyFront(inner, 2))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.Options{
+		MaxAttempts: 3,
+		RetryBase:   time.Millisecond,
+		RetryMax:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Two 503s then success: the third attempt lands.
+	d, ok, err := c.Lookup(0, 3)
+	if err != nil || !ok || d != 3 {
+		t.Fatalf("Lookup through flaky server = (%d,%v,%v), want (3,true,nil)", d, ok, err)
+	}
+
+	// With retry exhausted before the server recovers, the error surfaces.
+	ts2 := httptest.NewServer(flakyFront(inner, 100))
+	t.Cleanup(ts2.Close)
+	c2, err := client.New(ts2.URL, client.Options{
+		MaxAttempts: 2,
+		RetryBase:   time.Millisecond,
+		RetryMax:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, err := c2.Lookup(0, 3); err == nil {
+		t.Fatal("Lookup through always-503 server succeeded, want error after retries")
+	}
+}
+
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	idx := testIndex(t, true)
+	inner := server.New(idx, server.Config{}).Handler()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stats" {
+			hits.Add(1)
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":"no"}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.Options{MaxAttempts: 5, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Lookup(0, 3); err == nil {
+		t.Fatal("Lookup = nil error, want the 400 reported")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("client sent %d requests for a permanent error, want 1", got)
+	}
+}
+
+func TestClientMultiEndpointFailover(t *testing.T) {
+	idx := testIndex(t, true)
+	good := httptest.NewServer(server.New(idx, server.Config{}).Handler())
+	t.Cleanup(good.Close)
+	// A dead endpoint first: the handshake and every query must fail
+	// over to the good one.
+	c, err := client.NewMulti([]string{"http://127.0.0.1:1", good.URL}, client.Options{
+		MaxAttempts: 3,
+		RetryBase:   time.Millisecond,
+		RetryMax:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewMulti with one dead endpoint: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		d, ok, err := c.Lookup(0, 3)
+		if err != nil || !ok || d != 3 {
+			t.Fatalf("Lookup after failover = (%d,%v,%v), want (3,true,nil)", d, ok, err)
+		}
+	}
+	if n := c.N(); n != 6 {
+		t.Fatalf("N() = %d, want 6", n)
+	}
+}
+
+func TestClientMinSeqHeader(t *testing.T) {
+	idx := testIndex(t, true)
+	inner := server.New(idx, server.Config{}).Handler()
+	var gotMinSeq atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/distance" {
+			gotMinSeq.Store(r.Header.Get("X-Hopdb-Min-Seq"))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMinSeq(7)
+	// The read-only test server cannot satisfy seq 7, so the query fails
+	// after retries — but the header must have been sent.
+	if _, _, err := c.Lookup(0, 3); err == nil {
+		t.Fatal("Lookup with unsatisfiable min-seq succeeded, want 503 surfaced")
+	}
+	if got, _ := gotMinSeq.Load().(string); got != "7" {
+		t.Fatalf("server saw min-seq %q, want \"7\"", got)
+	}
+	c.SetMinSeq(0)
+	if d, ok, err := c.Lookup(0, 3); err != nil || !ok || d != 3 {
+		t.Fatalf("Lookup after clearing min-seq = (%d,%v,%v), want (3,true,nil)", d, ok, err)
 	}
 }

@@ -16,6 +16,7 @@
 //	hopdb-bench -datasets enron,syn6 table6
 //	hopdb-bench -url http://127.0.0.1:8080 -requests 10000 -conc 16 serve
 //	hopdb-bench -url http://127.0.0.1:8080 -batch 64 -binary serve
+//	hopdb-bench -url http://127.0.0.1:8090 -hedge serve   # router hedging A/B
 //	go test -bench 'Distance|LoadIndex' -benchtime 1x -run '^$' | hopdb-bench benchjson
 //	hopdb-bench -base BENCH_BASE.json -new BENCH_PR.json benchcmp
 package main
@@ -47,6 +48,7 @@ func main() {
 		binary   = flag.Bool("binary", false, "encode batches with the compact binary encoding (serve)")
 		nvert    = flag.Int("nvert", 0, "vertex id space; 0 asks the server's /v1/stats (serve)")
 		seed     = flag.Int64("seed", 1, "workload seed (serve)")
+		hedged   = flag.Bool("hedge", false, "run the workload twice against a hopdb-router — hedging suppressed, then enabled — and compare tail latency (serve)")
 
 		basePath   = flag.String("base", "BENCH_BASE.json", "baseline benchmark report (benchcmp)")
 		newPath    = flag.String("new", "BENCH_PR.json", "candidate benchmark report (benchcmp)")
@@ -74,6 +76,14 @@ func main() {
 			Binary:      *binary,
 			MaxVertex:   int32(*nvert),
 			Seed:        *seed,
+		}
+		if *hedged {
+			off, on, err := bench.RunServeBenchHedge(opt)
+			if err != nil {
+				fail(err)
+			}
+			bench.PrintHedgeComparison(os.Stdout, opt, off, on)
+			return
 		}
 		res, err := bench.RunServeBench(opt)
 		if err != nil {

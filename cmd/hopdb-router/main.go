@@ -1,0 +1,141 @@
+// Command hopdb-router is the stateless serving tier in front of a
+// fleet of hopdb-serve replicas: it health-checks the fleet, balances
+// /v1/distance and /v1/batch across healthy replicas with
+// power-of-two-choices on in-flight load, retries transient failures on
+// other replicas (a killed replica degrades latency, not availability),
+// hedges straggler requests to cut tail latency, splits large batches
+// into per-replica chunks over the compact binary codec, and proxies the
+// admin surface (edge writes, the replication log) to the primary.
+//
+// Usage:
+//
+//	hopdb-router -replicas http://a:8080,http://b:8080,http://c:8080 \
+//	    [-primary http://a:8080] [-addr :8090] [-hedge 2ms] \
+//	    [-chunk 256] [-max-batch 10000] [-health-interval 500ms]
+//
+// Endpoints:
+//
+//	GET  /v1/distance?s=1&t=2  balanced + hedged over the fleet
+//	POST /v1/batch             split, fanned out, reassembled in order
+//	GET  /v1/healthz           200 while at least one replica is healthy
+//	GET  /v1/stats             router counters + per-replica states
+//	GET  /v1/metrics           Prometheus text exposition
+//	ANY  /v1/admin/*           proxied to -primary (501 without one)
+//
+// Responses carry X-Hopdb-Seq / X-Hopdb-Epoch from the answering replica
+// (for batches: the minimum across chunks); clients demand
+// read-your-writes by sending X-Hopdb-Min-Seq, which the router forwards
+// — a behind replica answers 503 and the router fails over to a
+// caught-up one. X-Hopdb-No-Hedge disables hedging per request.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		replicas  = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		primary   = flag.String("primary", "", "primary base URL for /v1/admin/* proxying (writes, replication log)")
+		addr      = flag.String("addr", ":8090", "listen address")
+		hedge     = flag.Duration("hedge", 0, "hedge a second replica when the first has not answered within this budget (0 disables)")
+		chunk     = flag.Int("chunk", cluster.DefaultChunkSize, "pairs per replica chunk when splitting batches")
+		maxBatch  = flag.Int("max-batch", cluster.DefaultMaxBatch, "largest accepted batch request, in pairs")
+		attempts  = flag.Int("attempts", 0, "max tries per request across replicas (0 = one per replica)")
+		healthInt = flag.Duration("health-interval", cluster.DefaultHealthInterval, "replica health probe cadence")
+		upTimeout = flag.Duration("upstream-timeout", cluster.DefaultUpstreamTimeout, "per-attempt upstream budget")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	urls := splitURLs(*replicas)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "hopdb-router: -replicas is required (comma-separated base URLs)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pool := cluster.NewPool(urls, nil, *healthInt)
+	rt, err := cluster.NewRouter(pool, cluster.RouterConfig{
+		HedgeDelay:      *hedge,
+		MaxBatch:        *maxBatch,
+		ChunkSize:       *chunk,
+		MaxAttempts:     *attempts,
+		Primary:         *primary,
+		UpstreamTimeout: *upTimeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	pool.Start()
+	defer pool.Stop()
+	log.Printf("fronting %d replicas (%d healthy at startup), hedge=%v, chunk=%d",
+		pool.Size(), pool.Healthy(), *hedge, *chunk)
+	if *primary != "" {
+		log.Printf("proxying /v1/admin/* to %s", *primary)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("routing on http://%s", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		<-done
+	}
+	st := rt.Stats()
+	log.Printf("routed %d requests (%d pairs) over %.1fs: %d retries, %d hedges (%d wins), %d upstream errors",
+		st.Requests, st.Queries, st.UptimeSeconds, st.Retries, st.Hedges, st.HedgeWins, st.UpstreamErrors)
+}
+
+// splitURLs parses the -replicas list, dropping empties and trailing
+// slashes.
+func splitURLs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.TrimRight(part, "/"))
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopdb-router:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,10 @@
 //	hopdb-serve -remote http://other:8080               # proxy + cache tier
 //	hopdb-serve -idx graph.idx -graph graph.txt -updates -admin-token secret
 //	                                                    # accept edge updates
+//	hopdb-serve -idx graph.idx -graph graph.txt -updates \
+//	    -replica-of http://primary:8080 -replica-token secret
+//	                                                    # pull replica: replays
+//	                                                    # the primary's journal
 //
 // Endpoints (also reachable without the /v1 prefix, as legacy aliases;
 // the admin surface exists only under /v1):
@@ -40,10 +44,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	hopdb "repro"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -61,6 +67,10 @@ func main() {
 		updates    = flag.Bool("updates", false, "accept online edge updates via POST /v1/admin/edges (needs -idx and -graph)")
 		adminToken = flag.String("admin-token", "", "bearer token gating the admin API; empty disables /v1/admin/*")
 		staleFrac  = flag.Float64("stale", 0, "dirty-vertex fraction beyond which a delete full-rebuilds the labels (default 0.25)")
+		replicaOf  = flag.String("replica-of", "", "primary base URL to replicate from (needs -updates; rejects direct writes)")
+		replicaTok = flag.String("replica-token", "", "primary's admin bearer token (the replication log is gated)")
+		replicaInt = flag.Duration("replica-interval", 500*time.Millisecond, "idle replication poll cadence")
+		replicaSeq = flag.Int64("replica-seq", 0, "journal sequence the -idx snapshot was saved at (the primary's updates.seq at save time); replication resumes from there")
 		addr       = flag.String("addr", ":8080", "listen address")
 		cache      = flag.Int("cache", 0, "distance cache budget in entries (0 disables)")
 		workers    = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
@@ -112,7 +122,13 @@ func main() {
 	if *updates {
 		// Open validates the combination (heap index + graph, no
 		// mmap/disk/remote/bit-parallel) and reports a precise error.
-		opts = append(opts, hopdb.WithUpdates(hopdb.UpdateOptions{MaxStaleFraction: *staleFrac}))
+		opts = append(opts, hopdb.WithUpdates(hopdb.UpdateOptions{
+			MaxStaleFraction: *staleFrac,
+			InitialSeq:       *replicaSeq,
+		}))
+	}
+	if *replicaOf != "" && !*updates {
+		fail(errors.New("-replica-of needs -updates (replication replays the journal through the maintenance engine)"))
 	}
 
 	start := time.Now()
@@ -144,7 +160,33 @@ func main() {
 		Workers:      *workers,
 		Timeout:      *timeout,
 		AdminToken:   *adminToken,
+		Replica:      *replicaOf != "",
 	})
+
+	// Replica mode: replay the primary's mutation journal in the
+	// background. Replication halting (journal gap, divergence) is fatal
+	// — continuing to serve would silently return stale answers forever.
+	pullCtx, pullCancel := context.WithCancel(context.Background())
+	defer pullCancel()
+	if *replicaOf != "" {
+		rep, ok := q.(hopdb.Replicator)
+		if !ok {
+			fail(errors.New("backend does not journal mutations; replication needs -updates"))
+		}
+		primary := strings.TrimRight(*replicaOf, "/")
+		go func() {
+			if err := cluster.Pull(pullCtx, rep, cluster.PullConfig{
+				Primary:  primary,
+				Token:    *replicaTok,
+				Interval: *replicaInt,
+				Logf:     log.Printf,
+			}); err != nil {
+				log.Printf("hopdb-serve: replication halted: %v", err)
+				os.Exit(1)
+			}
+		}()
+		log.Printf("replica mode: pulling %s every %v (direct writes rejected)", primary, *replicaInt)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

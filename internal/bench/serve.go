@@ -35,6 +35,10 @@ type ServeBenchOptions struct {
 	MaxVertex int32
 	// Seed makes the query workload reproducible.
 	Seed int64
+	// NoHedge sends X-Hopdb-No-Hedge on every request, telling a
+	// hopdb-router target to skip hedged requests — the "off" arm of a
+	// hedging comparison. Replicas ignore the header.
+	NoHedge bool
 }
 
 // ServeBenchResult summarizes a load-generation run.
@@ -135,15 +139,25 @@ func RunServeBench(opt ServeBenchOptions) (ServeBenchResult, error) {
 					err  error
 				)
 				t0 := time.Now()
+				var req *http.Request
 				if opt.Batch <= 1 {
-					resp, err = client.Get(urls[i%int64(len(urls))])
+					req, err = http.NewRequest(http.MethodGet, urls[i%int64(len(urls))], nil)
 				} else {
-					ct := "application/json"
-					if opt.Binary {
-						ct = wire.ContentTypeBinaryBatch
-					}
-					resp, err = client.Post(base+"/v1/batch", ct,
+					req, err = http.NewRequest(http.MethodPost, base+"/v1/batch",
 						bytes.NewReader(bodies[i%int64(len(bodies))]))
+					if err == nil {
+						ct := "application/json"
+						if opt.Binary {
+							ct = wire.ContentTypeBinaryBatch
+						}
+						req.Header.Set("Content-Type", ct)
+					}
+				}
+				if err == nil {
+					if opt.NoHedge {
+						req.Header.Set(wire.HeaderNoHedge, "1")
+					}
+					resp, err = client.Do(req)
 				}
 				if err != nil {
 					errors.Add(1)
@@ -205,6 +219,39 @@ func discoverVertices(client *http.Client, base string) (int32, error) {
 		return 0, err
 	}
 	return st.Vertices, nil
+}
+
+// RunServeBenchHedge runs the same workload twice against a hopdb-router
+// target — first with hedging suppressed via X-Hopdb-No-Hedge, then with
+// the router's configured hedging — so BENCH artifacts capture what
+// hedging buys at the tail. Both arms use the same seed, so the query
+// mixes are identical.
+func RunServeBenchHedge(opt ServeBenchOptions) (off, on ServeBenchResult, err error) {
+	opt.NoHedge = true
+	off, err = RunServeBench(opt)
+	if err != nil {
+		return off, on, err
+	}
+	opt.NoHedge = false
+	on, err = RunServeBench(opt)
+	return off, on, err
+}
+
+// PrintHedgeComparison renders the two arms of a hedging run side by
+// side with the p99 delta — the number hedging exists to move.
+func PrintHedgeComparison(w io.Writer, opt ServeBenchOptions, off, on ServeBenchResult) {
+	fmt.Fprintf(w, "ServeBench hedging comparison against %s (%d clients, seed %d)\n",
+		opt.URL, opt.Concurrency, opt.Seed)
+	row := func(name string, r ServeBenchResult) {
+		fmt.Fprintf(w, "  hedge %-4s %.0f req/s   p50 %-10v p95 %-10v p99 %-10v max %-10v (%d errors)\n",
+			name+":", r.RequestsPerSec, r.P50, r.P95, r.P99, r.Max, r.Errors)
+	}
+	row("off", off)
+	row("on", on)
+	if off.P99 > 0 {
+		delta := float64(on.P99-off.P99) / float64(off.P99) * 100
+		fmt.Fprintf(w, "  p99 delta with hedging: %+.1f%%\n", delta)
+	}
 }
 
 // PrintServeBench renders a load-generation run.

@@ -1,0 +1,247 @@
+// Package cluster is the replicated serving tier: a health-checked pool
+// of hopdb-serve replicas, a stateless router that fans queries out over
+// it (power-of-two-choices balancing, hedged requests, batch splitting
+// over the compact binary codec), and the pull loop that replays a
+// primary's mutation journal so every replica converges to byte-identical
+// label epochs. cmd/hopdb-router and the replica mode of cmd/hopdb-serve
+// are thin shells around this package.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// DefaultHealthInterval is the pool's probe cadence when Config leaves
+// it zero.
+const DefaultHealthInterval = 500 * time.Millisecond
+
+// ReplicaState is one replica's health snapshot, as reported by the
+// router's /v1/stats.
+type ReplicaState struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Seq and Epoch are the replica's replication position at the last
+	// probe (zero for read-only backends).
+	Seq   int64 `json:"seq"`
+	Epoch int64 `json:"epoch"`
+	// Inflight is the number of router requests on this replica right
+	// now — the load signal power-of-two-choices compares.
+	Inflight int64 `json:"inflight"`
+	// LastError is the most recent probe failure, cleared on recovery.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// endpoint is one replica in the pool.
+type endpoint struct {
+	url      string
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	seq      atomic.Int64
+	epoch    atomic.Int64
+	vertices atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (e *endpoint) setErr(msg string) {
+	e.mu.Lock()
+	e.lastErr = msg
+	e.mu.Unlock()
+}
+
+func (e *endpoint) state() ReplicaState {
+	e.mu.Lock()
+	lastErr := e.lastErr
+	e.mu.Unlock()
+	return ReplicaState{
+		URL:       e.url,
+		Healthy:   e.healthy.Load(),
+		Seq:       e.seq.Load(),
+		Epoch:     e.epoch.Load(),
+		Inflight:  e.inflight.Load(),
+		LastError: lastErr,
+	}
+}
+
+// Pool is a health-checked set of equivalent replicas. Start launches
+// the background prober; Pick hands out healthy replicas by
+// power-of-two-choices on in-flight load.
+type Pool struct {
+	eps      []*endpoint
+	httpc    *http.Client
+	interval time.Duration
+	stop     chan struct{}
+	done     sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// NewPool builds a pool over urls (no trailing slashes added or
+// stripped; pass base URLs). httpc defaults to a client with a short
+// per-probe timeout; interval <= 0 selects DefaultHealthInterval. The
+// pool starts with every replica unknown — run Probe (or Start) before
+// routing.
+func NewPool(urls []string, httpc *http.Client, interval time.Duration) *Pool {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 2 * time.Second}
+	}
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	p := &Pool{
+		httpc:    httpc,
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+	for _, u := range urls {
+		p.eps = append(p.eps, &endpoint{url: u})
+	}
+	return p
+}
+
+// Probe checks every replica once, synchronously (concurrently across
+// replicas): /v1/stats answering 200 marks it healthy and refreshes its
+// replication position.
+func (p *Pool) Probe() {
+	var wg sync.WaitGroup
+	for _, ep := range p.eps {
+		wg.Add(1)
+		go func(ep *endpoint) {
+			defer wg.Done()
+			p.probe(ep)
+		}(ep)
+	}
+	wg.Wait()
+}
+
+func (p *Pool) probe(ep *endpoint) {
+	resp, err := p.httpc.Get(ep.url + "/v1/stats")
+	if err != nil {
+		ep.healthy.Store(false)
+		ep.setErr(err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ep.healthy.Store(false)
+		ep.setErr(fmt.Sprintf("stats probe returned %s", resp.Status))
+		return
+	}
+	var st wire.StatsResult
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		ep.healthy.Store(false)
+		ep.setErr("stats probe: " + err.Error())
+		return
+	}
+	if st.Updates != nil {
+		ep.seq.Store(st.Updates.Seq)
+		ep.epoch.Store(st.Updates.Epoch)
+	}
+	ep.vertices.Store(int64(st.Vertices))
+	ep.setErr("")
+	ep.healthy.Store(true)
+}
+
+// Start probes once synchronously (so the router is immediately usable)
+// and then keeps probing in the background until Stop.
+func (p *Pool) Start() {
+	p.Probe()
+	p.done.Add(1)
+	go func() {
+		defer p.done.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Probe()
+			}
+		}
+	}()
+}
+
+// Stop halts the background prober (idempotent).
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.done.Wait()
+}
+
+// Pick selects a healthy replica not rejected by exclude (nil accepts
+// all): with two or more candidates it samples two distinct ones
+// uniformly and returns the less loaded (power of two choices), which
+// bounds load imbalance without global coordination. Returns nil when no
+// candidate remains.
+func (p *Pool) Pick(exclude func(url string) bool) *endpoint {
+	var cands []*endpoint
+	for _, ep := range p.eps {
+		if !ep.healthy.Load() {
+			continue
+		}
+		if exclude != nil && exclude(ep.url) {
+			continue
+		}
+		cands = append(cands, ep)
+	}
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	i := rand.Intn(len(cands))
+	j := rand.Intn(len(cands) - 1)
+	if j >= i {
+		j++
+	}
+	if cands[j].inflight.Load() < cands[i].inflight.Load() {
+		return cands[j]
+	}
+	return cands[i]
+}
+
+// States snapshots every replica for the router's /v1/stats.
+func (p *Pool) States() []ReplicaState {
+	out := make([]ReplicaState, len(p.eps))
+	for i, ep := range p.eps {
+		out[i] = ep.state()
+	}
+	return out
+}
+
+// Healthy counts replicas currently marked healthy.
+func (p *Pool) Healthy() int {
+	n := 0
+	for _, ep := range p.eps {
+		if ep.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the configured replica count.
+func (p *Pool) Size() int { return len(p.eps) }
+
+// Vertices returns the indexed vertex count reported by any healthy
+// replica (zero when none has answered a probe yet), so the router's
+// /v1/stats can serve workload discovery like a replica does.
+func (p *Pool) Vertices() int32 {
+	for _, ep := range p.eps {
+		if ep.healthy.Load() {
+			if v := ep.vertices.Load(); v > 0 {
+				return int32(v)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	hopdb "repro"
+	"repro/internal/wire"
+)
+
+// Pull defaults; see PullConfig.
+const (
+	DefaultPullInterval = 500 * time.Millisecond
+	DefaultPullMax      = 1000
+)
+
+// PullConfig tunes a replica's replication pull loop.
+type PullConfig struct {
+	// Primary is the base URL of the server whose journal is replayed
+	// (a primary, or another replica — the log chains).
+	Primary string
+	// Token is the primary's admin bearer token; the replication log
+	// lives on the gated admin surface.
+	Token string
+	// Interval is the idle poll cadence (default DefaultPullInterval).
+	// A pull that fills Max ops re-polls immediately, so catch-up speed
+	// is bounded by bandwidth, not cadence.
+	Interval time.Duration
+	// Max is the op cap per pull (default DefaultPullMax).
+	Max int
+	// HTTPClient overrides the transport (default: 30s timeout).
+	HTTPClient *http.Client
+	// Logf, when set, receives progress and transient-error lines
+	// (log.Printf-shaped).
+	Logf func(format string, args ...any)
+}
+
+// Pull replays a primary's mutation journal into target until ctx is
+// canceled: poll GET /v1/admin/replication/log?since=<target.Seq()>,
+// apply each op in order, repeat — immediately while behind, at
+// cfg.Interval when caught up. Transient failures (the primary briefly
+// down, a malformed response) are logged and retried on the next tick.
+//
+// It returns nil on ctx cancellation and an error only when replication
+// cannot continue: the primary reports a journal gap (HTTP 410 — this
+// replica must reseed from a fresh snapshot) or an op fails to apply
+// (sequence gap, divergent state). Callers should treat that as fatal
+// for the replica: serving would silently diverge from the primary.
+func Pull(ctx context.Context, target hopdb.Replicator, cfg PullConfig) error {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultPullInterval
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = DefaultPullMax
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	timer := time.NewTimer(0) // first pull immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-timer.C:
+		}
+		behind, err := pullOnce(ctx, target, httpc, cfg, logf)
+		if err != nil {
+			return err
+		}
+		if behind {
+			timer.Reset(0)
+		} else {
+			timer.Reset(cfg.Interval)
+		}
+	}
+}
+
+// pullOnce fetches and applies one log page. behind reports that more
+// ops are (or may be) immediately available.
+func pullOnce(ctx context.Context, target hopdb.Replicator, httpc *http.Client, cfg PullConfig, logf func(string, ...any)) (behind bool, err error) {
+	since := target.Seq()
+	url := fmt.Sprintf("%s/v1/admin/replication/log?since=%d&max=%d", cfg.Primary, since, cfg.Max)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	if cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+cfg.Token)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, nil // shut down mid-request
+		}
+		logf("replication: pull from %s failed (will retry): %v", cfg.Primary, err)
+		return false, nil
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return false, fmt.Errorf("cluster: primary %s no longer retains ops after seq %d: %w (reseed this replica from a fresh snapshot)",
+			cfg.Primary, since, hopdb.ErrJournalGap)
+	default:
+		logf("replication: pull from %s returned %s (will retry)", cfg.Primary, resp.Status)
+		return false, nil
+	}
+	var log wire.ReplicationLog
+	if err := json.NewDecoder(resp.Body).Decode(&log); err != nil {
+		logf("replication: malformed log from %s (will retry): %v", cfg.Primary, err)
+		return false, nil
+	}
+	for _, op := range log.Ops {
+		if err := target.ApplyReplicated(op); err != nil {
+			return false, fmt.Errorf("cluster: applying replicated op seq %d (%s %d %d): %w",
+				op.Seq, op.Op, op.U, op.V, err)
+		}
+	}
+	if len(log.Ops) > 0 {
+		logf("replication: applied %d ops, now at seq %d (primary at %d)", len(log.Ops), target.Seq(), log.Seq)
+	}
+	return log.Truncated || target.Seq() < log.Seq, nil
+}

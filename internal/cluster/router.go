@@ -1,0 +1,594 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Router defaults; see RouterConfig.
+const (
+	DefaultChunkSize       = 256
+	DefaultMaxBatch        = 10000
+	DefaultUpstreamTimeout = 10 * time.Second
+)
+
+// errNoReplicas is answered as 503 when every replica is unhealthy or
+// already tried.
+var errNoReplicas = errors.New("cluster: no healthy replica available")
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// HedgeDelay launches a duplicate request on a second replica when
+	// the first has not answered within this budget, taking whichever
+	// finishes first — the classic tail-latency amputation. 0 disables
+	// hedging. Requests carrying X-Hopdb-No-Hedge skip it regardless.
+	HedgeDelay time.Duration
+	// MaxBatch is the largest accepted /v1/batch request, in pairs
+	// (default DefaultMaxBatch).
+	MaxBatch int
+	// ChunkSize splits a /v1/batch request into per-replica chunks of
+	// this many pairs (default DefaultChunkSize), fanned out
+	// concurrently over the binary codec and reassembled in order.
+	ChunkSize int
+	// MaxAttempts bounds tries per request or chunk across replicas
+	// (hedges count); 0 tries every replica once.
+	MaxAttempts int
+	// Primary is the base URL admin requests (/v1/admin/*) are proxied
+	// to — the write path and the replication log. Empty answers 501.
+	Primary string
+	// UpstreamTimeout bounds each upstream attempt (default
+	// DefaultUpstreamTimeout).
+	UpstreamTimeout time.Duration
+}
+
+// Router is the stateless serving tier in front of a replica pool: it
+// balances /v1/distance and /v1/batch across healthy replicas
+// (power-of-two-choices), retries transient failures on other replicas,
+// hedges stragglers, splits large batches, and proxies the admin surface
+// to the primary. Create with NewRouter; serve Handler().
+type Router struct {
+	pool  *Pool
+	cfg   RouterConfig
+	httpc *http.Client
+	proxy http.Handler
+
+	handler http.Handler
+	now     func() time.Time
+	start   time.Time
+
+	requests     atomic.Int64 // client requests routed
+	queries      atomic.Int64 // pairs answered
+	retries      atomic.Int64 // failover re-sends after a transient failure
+	hedges       atomic.Int64 // duplicate requests launched by the hedger
+	hedgeWins    atomic.Int64 // requests won by the hedged duplicate
+	upstreamErrs atomic.Int64 // transient upstream failures observed
+	lat          metrics.Latency
+}
+
+// NewRouter wires a router over pool. The pool should be Started (or
+// Probed) before traffic arrives.
+func NewRouter(pool *Pool, cfg RouterConfig) (*Router, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.UpstreamTimeout <= 0 {
+		cfg.UpstreamTimeout = DefaultUpstreamTimeout
+	}
+	rt := &Router{
+		pool:  pool,
+		cfg:   cfg,
+		httpc: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+		now:   time.Now,
+	}
+	rt.start = rt.now()
+	if cfg.Primary != "" {
+		u, err := url.Parse(cfg.Primary)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: invalid primary URL %q", cfg.Primary)
+		}
+		rt.proxy = httputil.NewSingleHostReverseProxy(u)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/distance", rt.handleDistance)
+	mux.HandleFunc("/v1/batch", rt.handleBatch)
+	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/stats", rt.handleStats)
+	mux.HandleFunc("/v1/metrics", rt.handleMetrics)
+	mux.HandleFunc("/v1/admin/", rt.handleAdmin)
+	rt.handler = mux
+	return rt, nil
+}
+
+// Handler returns the root http.Handler serving all router endpoints.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// upstream is one attempt's outcome. A transport failure leaves err set;
+// otherwise status/body/seq/epoch mirror the replica's response.
+type upstream struct {
+	status     int
+	body       []byte
+	seq, epoch string
+	err        error
+	hedged     bool
+}
+
+// transient reports whether the outcome is worth another replica:
+// transport errors, plus the shared retryability rule (gateway-ish
+// statuses, including the 503 a min-seq-behind replica answers).
+func (u upstream) transient() bool {
+	return u.err != nil || wire.TransientStatus(u.status)
+}
+
+// fetchOnce performs one upstream attempt against ep, forwarding the
+// read-your-writes demand, and reads the whole response.
+func (rt *Router) fetchOnce(ctx context.Context, ep *endpoint, method, path, contentType string, body []byte, minSeq string, hedged bool) upstream {
+	ep.inflight.Add(1)
+	defer ep.inflight.Add(-1)
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.UpstreamTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, ep.url+path, rd)
+	if err != nil {
+		return upstream{err: err, hedged: hedged}
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if minSeq != "" {
+		req.Header.Set(wire.HeaderMinSeq, minSeq)
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return upstream{err: err, hedged: hedged}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return upstream{err: err, hedged: hedged}
+	}
+	return upstream{
+		status: resp.StatusCode,
+		body:   b,
+		seq:    resp.Header.Get(wire.HeaderSeq),
+		epoch:  resp.Header.Get(wire.HeaderEpoch),
+		hedged: hedged,
+	}
+}
+
+// maxAttempts resolves the per-request attempt budget.
+func (rt *Router) maxAttempts() int {
+	if rt.cfg.MaxAttempts > 0 {
+		return rt.cfg.MaxAttempts
+	}
+	if n := rt.pool.Size(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// forward routes one logical request: pick a replica (power of two
+// choices), hedge a straggler onto a second one, and fail transient
+// outcomes over to untried replicas until the attempt budget runs out.
+// The returned outcome is the first non-transient answer, or the last
+// transient one when every attempt failed (so a 503 from uniformly
+// behind replicas propagates as a 503, keeping min-seq semantics).
+func (rt *Router) forward(ctx context.Context, method, path, contentType string, body []byte, minSeq string, noHedge bool) upstream {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	budget := rt.maxAttempts()
+	results := make(chan upstream, budget)
+	tried := make(map[string]bool)
+	launch := func(hedged bool) bool {
+		ep := rt.pool.Pick(func(u string) bool { return tried[u] })
+		if ep == nil {
+			return false
+		}
+		tried[ep.url] = true
+		go func() { results <- rt.fetchOnce(ctx, ep, method, path, contentType, body, minSeq, hedged) }()
+		return true
+	}
+	if !launch(false) {
+		return upstream{err: errNoReplicas}
+	}
+	launched, inflight := 1, 1
+	var hedgeTimer <-chan time.Time
+	if rt.cfg.HedgeDelay > 0 && !noHedge {
+		hedgeTimer = time.After(rt.cfg.HedgeDelay)
+	}
+	var last upstream
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if !res.transient() {
+				if res.hedged {
+					rt.hedgeWins.Add(1)
+				}
+				return res
+			}
+			rt.upstreamErrs.Add(1)
+			last = res
+			if launched < budget && launch(false) {
+				launched++
+				inflight++
+				rt.retries.Add(1)
+				continue
+			}
+			if inflight == 0 {
+				return last
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if launched < budget && launch(true) {
+				launched++
+				inflight++
+				rt.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			return upstream{err: ctx.Err()}
+		}
+	}
+}
+
+// writeUpstream relays an upstream outcome to the client, translating
+// transport-level failures into 502/503.
+func (rt *Router) writeUpstream(w http.ResponseWriter, res upstream) {
+	if res.err != nil {
+		status := http.StatusBadGateway
+		msg := "upstream request failed: " + res.err.Error()
+		if errors.Is(res.err, errNoReplicas) {
+			status = http.StatusServiceUnavailable
+			msg = errNoReplicas.Error()
+		}
+		writeError(w, status, msg)
+		return
+	}
+	if res.seq != "" {
+		w.Header().Set(wire.HeaderSeq, res.seq)
+	}
+	if res.epoch != "" {
+		w.Header().Set(wire.HeaderEpoch, res.epoch)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func (rt *Router) handleDistance(w http.ResponseWriter, r *http.Request) {
+	t0 := rt.now()
+	defer func() { rt.lat.Observe(rt.now().Sub(t0)) }()
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	rt.requests.Add(1)
+	path := "/v1/distance"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	res := rt.forward(r.Context(), http.MethodGet, path, "", nil,
+		r.Header.Get(wire.HeaderMinSeq), r.Header.Get(wire.HeaderNoHedge) != "")
+	if res.err == nil && res.status == http.StatusOK {
+		rt.queries.Add(1)
+	}
+	rt.writeUpstream(w, res)
+}
+
+// handleBatch decodes the client's batch (JSON or binary), splits it
+// into chunks, fans the chunks out concurrently over the binary codec —
+// each chunk independently balanced, retried, and hedged — and
+// reassembles the answers in request order, responding in the encoding
+// the client used. The response's replication headers carry the minimum
+// seq/epoch across the answering replicas: the weakest freshness any
+// part of the batch was served at.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := rt.now()
+	defer func() { rt.lat.Observe(rt.now().Sub(t0)) }()
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	rt.requests.Add(1)
+
+	ct := r.Header.Get("Content-Type")
+	if mt, _, found := strings.Cut(ct, ";"); found {
+		ct = mt
+	}
+	binaryIn := strings.TrimSpace(ct) == wire.ContentTypeBinaryBatch
+
+	maxBody := int64(rt.cfg.MaxBatch)*64 + 64
+	if binaryIn {
+		maxBody = int64(rt.cfg.MaxBatch)*8 + 8
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes (max-batch is %d pairs)", maxBody, rt.cfg.MaxBatch))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+
+	var pairs []wire.QueryPair
+	if binaryIn {
+		pairs, err = wire.DecodeBatchRequest(nil, body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		var raw []jsonPair
+		if err := json.Unmarshal(body, &raw); err != nil {
+			writeError(w, http.StatusBadRequest, "body must be a JSON array of [s,t] pairs: "+err.Error())
+			return
+		}
+		pairs = make([]wire.QueryPair, len(raw))
+		for i, p := range raw {
+			pairs[i] = wire.QueryPair{S: p[0], T: p[1]}
+		}
+	}
+	if len(pairs) > rt.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d pairs exceeds the limit of %d", len(pairs), rt.cfg.MaxBatch))
+		return
+	}
+
+	minSeq := r.Header.Get(wire.HeaderMinSeq)
+	noHedge := r.Header.Get(wire.HeaderNoHedge) != ""
+	results := make([]uint32, len(pairs))
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		fail   *upstream
+		minPos replicaPos
+	)
+	for lo := 0; lo < len(pairs); lo += rt.cfg.ChunkSize {
+		hi := lo + rt.cfg.ChunkSize
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			req := wire.AppendBatchRequest(nil, pairs[lo:hi])
+			res := rt.forward(r.Context(), http.MethodPost, "/v1/batch", wire.ContentTypeBinaryBatch, req, minSeq, noHedge)
+			if res.err != nil || res.status != http.StatusOK {
+				mu.Lock()
+				if fail == nil {
+					fail = &res
+				}
+				mu.Unlock()
+				return
+			}
+			dists, derr := wire.DecodeBatchResponse(nil, res.body)
+			if derr != nil || len(dists) != hi-lo {
+				mu.Lock()
+				if fail == nil {
+					fail = &upstream{err: fmt.Errorf("replica answered a malformed batch: %v", derr)}
+				}
+				mu.Unlock()
+				return
+			}
+			copy(results[lo:hi], dists)
+			mu.Lock()
+			minPos.fold(res.seq, res.epoch)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	if fail != nil {
+		rt.writeUpstream(w, *fail)
+		return
+	}
+	rt.queries.Add(int64(len(pairs)))
+	if seq, epoch, ok := minPos.position(); ok {
+		w.Header().Set(wire.HeaderSeq, strconv.FormatInt(seq, 10))
+		w.Header().Set(wire.HeaderEpoch, strconv.FormatInt(epoch, 10))
+	}
+	if binaryIn {
+		w.Header().Set("Content-Type", wire.ContentTypeBinaryBatch)
+		w.WriteHeader(http.StatusOK)
+		w.Write(wire.AppendBatchResponse(nil, results))
+		return
+	}
+	out := wire.BatchResult{Results: make([]wire.DistanceResult, len(pairs))}
+	for i := range pairs {
+		dr := wire.DistanceResult{S: pairs[i].S, T: pairs[i].T, Reachable: results[i] != wire.Infinity}
+		if dr.Reachable {
+			dr.Distance = &results[i]
+		}
+		out.Results[i] = dr
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jsonPair decodes one [s,t] element of a JSON batch, rejecting anything
+// but exactly two numbers — the same strictness the replica server
+// applies, so the router does not silently truncate [[1,2,9]] on the way
+// through.
+type jsonPair [2]int32
+
+func (p *jsonPair) UnmarshalJSON(b []byte) error {
+	elems := make([]int32, 0, 2)
+	if err := json.Unmarshal(b, &elems); err != nil {
+		return err
+	}
+	if len(elems) != 2 {
+		return fmt.Errorf("pair must be [s,t], got %d elements", len(elems))
+	}
+	p[0], p[1] = elems[0], elems[1]
+	return nil
+}
+
+// replicaPos folds per-chunk replication headers into the minimum
+// position across the batch — the weakest freshness any chunk was served
+// at. A chunk answered by a replica that does not tag responses
+// (read-only backend) poisons the position: the batch then carries no
+// headers rather than a claim no replica made.
+type replicaPos struct {
+	seq, epoch int64
+	any, bad   bool
+}
+
+func (p *replicaPos) fold(seq, epoch string) {
+	s, err1 := strconv.ParseInt(seq, 10, 64)
+	e, err2 := strconv.ParseInt(epoch, 10, 64)
+	if err1 != nil || err2 != nil {
+		p.bad = true
+		return
+	}
+	if !p.any || s < p.seq {
+		p.seq = s
+	}
+	if !p.any || e < p.epoch {
+		p.epoch = e
+	}
+	p.any = true
+}
+
+func (p *replicaPos) position() (seq, epoch int64, ok bool) {
+	return p.seq, p.epoch, p.any && !p.bad
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	healthy := rt.pool.Healthy()
+	if healthy == 0 {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "no healthy replicas", "healthy": 0, "replicas": rt.pool.Size()})
+		return
+	}
+	writeJSON(w, http.StatusOK,
+		map[string]any{"status": "ok", "healthy": healthy, "replicas": rt.pool.Size()})
+}
+
+// RouterStats is the JSON answer for the router's /v1/stats. Vertices
+// mirrors a replica's so workload tools (hopdb-bench serve) can discover
+// the id space through the router transparently.
+type RouterStats struct {
+	Backend        string         `json:"backend"`
+	Vertices       int32          `json:"vertices"`
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	Requests       int64          `json:"requests"`
+	Queries        int64          `json:"queries"`
+	QPS            float64        `json:"qps"`
+	Retries        int64          `json:"retries"`
+	Hedges         int64          `json:"hedges"`
+	HedgeWins      int64          `json:"hedge_wins"`
+	UpstreamErrors int64          `json:"upstream_errors"`
+	Replicas       []ReplicaState `json:"replicas"`
+}
+
+// Stats snapshots the router counters and replica states.
+func (rt *Router) Stats() RouterStats {
+	uptime := rt.now().Sub(rt.start).Seconds()
+	st := RouterStats{
+		Backend:        string(wire.BackendRouter),
+		Vertices:       rt.pool.Vertices(),
+		UptimeSeconds:  uptime,
+		Requests:       rt.requests.Load(),
+		Queries:        rt.queries.Load(),
+		Retries:        rt.retries.Load(),
+		Hedges:         rt.hedges.Load(),
+		HedgeWins:      rt.hedgeWins.Load(),
+		UpstreamErrors: rt.upstreamErrs.Load(),
+		Replicas:       rt.pool.States(),
+	}
+	if uptime > 0 {
+		st.QPS = float64(st.Queries) / uptime
+	}
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	st := rt.Stats()
+	w.Header().Set("Content-Type", metrics.ContentType)
+	m := metrics.NewWriter(w)
+	m.Metric("hopdb_router_up", "Whether the router is serving.", "gauge", 1)
+	m.Metric("hopdb_router_uptime_seconds", "Seconds since the router started.", "gauge", st.UptimeSeconds)
+	m.Metric("hopdb_router_requests_total", "Client requests routed.", "counter", float64(st.Requests))
+	m.Metric("hopdb_router_queries_total", "Pair lookups answered.", "counter", float64(st.Queries))
+	m.Metric("hopdb_router_qps", "Lifetime average pair lookups per second.", "gauge", st.QPS)
+	m.Metric("hopdb_router_retries_total", "Failover re-sends after transient upstream failures.", "counter", float64(st.Retries))
+	m.Metric("hopdb_router_hedges_total", "Hedged duplicate requests launched.", "counter", float64(st.Hedges))
+	m.Metric("hopdb_router_hedge_wins_total", "Requests won by the hedged duplicate.", "counter", float64(st.HedgeWins))
+	m.Metric("hopdb_router_upstream_errors_total", "Transient upstream failures observed.", "counter", float64(st.UpstreamErrors))
+	m.Metric("hopdb_router_replicas", "Configured replicas.", "gauge", float64(len(st.Replicas)))
+	m.Metric("hopdb_router_replicas_healthy", "Replicas currently healthy.", "gauge", float64(rt.pool.Healthy()))
+	if qs := rt.lat.Quantiles(0.5, 0.95, 0.99); qs != nil {
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			m.Metric("hopdb_router_request_duration_seconds",
+				"Routed request latency over a sliding window of recent requests.", "summary",
+				qs[i].Seconds(), "quantile="+q)
+		}
+	}
+	m.Metric("hopdb_router_request_duration_seconds_count",
+		"Routed requests observed by the latency window.", "counter", float64(rt.lat.Count()))
+	for _, rs := range st.Replicas {
+		up := 0.0
+		if rs.Healthy {
+			up = 1
+		}
+		m.Metric("hopdb_router_replica_up", "Per-replica health.", "gauge", up, "replica="+rs.URL)
+		m.Metric("hopdb_router_replica_seq", "Per-replica replication sequence at last probe.", "gauge",
+			float64(rs.Seq), "replica="+rs.URL)
+	}
+	_ = m.Err()
+}
+
+// handleAdmin proxies the admin surface — edge writes and the
+// replication log — to the primary, so clients need only the router's
+// address. Without a configured primary the router cannot route writes.
+func (rt *Router) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	if rt.proxy == nil {
+		writeError(w, http.StatusNotImplemented,
+			"no primary configured; start hopdb-router with -primary to route admin requests")
+		return
+	}
+	rt.proxy.ServeHTTP(w, r)
+}
+
+// Thin aliases over the shared HTTP plumbing (internal/wire), so the
+// router and the replica server cannot drift on error shape or method
+// handling.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	return wire.AllowMethod(w, r, method)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) { wire.WriteJSON(w, status, v) }
+
+func writeError(w http.ResponseWriter, status int, msg string) { wire.WriteError(w, status, msg) }

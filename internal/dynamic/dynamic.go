@@ -72,6 +72,19 @@ type Options struct {
 	// RebuildParallelism shards full rebuilds across goroutines;
 	// <= 1 rebuilds serially.
 	RebuildParallelism int
+	// JournalLimit bounds the in-memory replication journal, in ops
+	// (see ReplicationLog). Zero selects DefaultJournalLimit; negative
+	// keeps the journal unbounded. A replica that falls further behind
+	// than the retained window gets ErrJournalGap and must reseed from a
+	// fresh snapshot.
+	JournalLimit int
+	// InitialSeq positions a freshly opened index at a non-zero journal
+	// sequence: the index was seeded from a snapshot of a primary that
+	// had already committed InitialSeq mutations, so replication resumes
+	// pulling from there instead of demanding ops the primary may have
+	// trimmed (and which must not be replayed onto post-op state). The
+	// epoch starts at the same value (the two advance in lockstep).
+	InitialSeq int64
 }
 
 // Index is a 2-hop label index that accepts online edge updates while
@@ -107,8 +120,20 @@ type Index struct {
 	// Counters behind the lock; snapshot with Stats.
 	inserts, deletes, noops      int64
 	partialRepairs, fullRebuilds int64
-	dirtyVertices, epoch         int64
+	dirtyVertices                int64
 	anomalies                    int64
+
+	// epoch and seq are written under the lock but read lock-free by
+	// servers tagging every query response, so they are atomics. epoch
+	// counts published label versions; seq numbers the journaled
+	// mutations (the two advance in lockstep: one publish per effective
+	// mutation).
+	epoch, seq atomic.Int64
+
+	// journal holds the effective mutations with journalStart < op.Seq
+	// <= seq, oldest first, capped at opt.JournalLimit; guarded by mu.
+	journal      []wire.SeqEdgeOp
+	journalStart int64
 }
 
 // New wraps a frozen label index and its graph in a dynamic index. flat
@@ -127,6 +152,9 @@ func New(flat *label.FlatIndex, g *graph.Graph, opt Options) (*Index, error) {
 	if opt.MaxStaleFraction == 0 {
 		opt.MaxStaleFraction = DefaultMaxStaleFraction
 	}
+	if opt.JournalLimit == 0 {
+		opt.JournalLimit = DefaultJournalLimit
+	}
 	work := flat.View().Clone()
 	d := &Index{
 		opt:     opt,
@@ -143,6 +171,14 @@ func New(flat *label.FlatIndex, g *graph.Graph, opt Options) (*Index, error) {
 	}
 	for i := range d.visit {
 		d.visit[i] = graph.Infinity
+	}
+	if opt.InitialSeq < 0 {
+		return nil, fmt.Errorf("dynamic: negative InitialSeq %d", opt.InitialSeq)
+	}
+	if opt.InitialSeq > 0 {
+		d.seq.Store(opt.InitialSeq)
+		d.epoch.Store(opt.InitialSeq)
+		d.journalStart = opt.InitialSeq
 	}
 	d.cur.Store(flat)
 	return d, nil
@@ -186,31 +222,52 @@ func (d *Index) InsertEdge(u, v, w int32) error {
 	if err := d.checkEndpoints(u, v); err != nil {
 		return err
 	}
-	if !d.g.weighted {
-		w = 1
-	} else {
-		if w <= 0 {
-			w = 1
-		}
-		if w > graph.MaxWeight {
-			return fmt.Errorf("%w: %d outside (0, %d]", ErrWeightRange, w, graph.MaxWeight)
-		}
+	w, err := d.normalizeWeight(w)
+	if err != nil {
+		return err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	a, b := d.rank(u), d.rank(v)
-	if old, ok := d.g.weight(a, b); ok && old <= w {
+	if !d.insertLocked(u, v, w) {
 		d.noops++
 		return nil
+	}
+	d.inserts++
+	d.commit(wire.OpInsert, u, v, w)
+	return nil
+}
+
+// normalizeWeight applies the insert-weight conventions: 1 for unweighted
+// graphs, <= 0 means 1, and out-of-range weights are rejected. Journal
+// entries record the normalized weight, so replicas replay exactly what
+// the primary applied.
+func (d *Index) normalizeWeight(w int32) (int32, error) {
+	if !d.g.weighted {
+		return 1, nil
+	}
+	if w <= 0 {
+		w = 1
+	}
+	if w > graph.MaxWeight {
+		return 0, fmt.Errorf("%w: %d outside (0, %d]", ErrWeightRange, w, graph.MaxWeight)
+	}
+	return w, nil
+}
+
+// insertLocked applies an insert with validated endpoints and normalized
+// weight, reporting whether the graph changed. Caller holds mu; the
+// caller publishes.
+func (d *Index) insertLocked(u, v, w int32) bool {
+	a, b := d.rank(u), d.rank(v)
+	if old, ok := d.g.weight(a, b); ok && old <= w {
+		return false
 	}
 	d.g.addArc(a, b, w)
 	if !d.g.directed {
 		d.g.addArc(b, a, w)
 	}
 	d.maintainInsert(a, b, uint32(w))
-	d.inserts++
-	d.publish()
-	return nil
+	return true
 }
 
 // maintainInsert patches the working labels after arc a->b (rank space,
@@ -261,6 +318,19 @@ func (d *Index) DeleteEdge(u, v int32) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.deleteLocked(u, v); err != nil {
+		return err
+	}
+	d.deletes++
+	d.commit(wire.OpDelete, u, v, 0)
+	return nil
+}
+
+// deleteLocked applies a delete with validated endpoints: suspect
+// detection, then partial repair or full rebuild. Caller holds mu; the
+// caller publishes on nil return (on error the graph and labels are
+// unchanged).
+func (d *Index) deleteLocked(u, v int32) error {
 	a, b := d.rank(u), d.rank(v)
 	w32, ok := d.g.weight(a, b)
 	if !ok {
@@ -342,8 +412,6 @@ func (d *Index) DeleteEdge(u, v int32) error {
 		d.dirtyVertices += int64(len(suspects))
 		d.partialRepairs++
 	}
-	d.deletes++
-	d.publish()
 	return nil
 }
 
@@ -373,7 +441,7 @@ func (d *Index) fullRebuild() error {
 // swaps it in for readers.
 func (d *Index) publish() {
 	d.cur.Store(label.Freeze(d.workIdx))
-	d.epoch++
+	d.epoch.Add(1)
 }
 
 // Stats snapshots the maintenance counters.
@@ -387,7 +455,8 @@ func (d *Index) Stats() wire.UpdateStats {
 		PartialRepairs: d.partialRepairs,
 		FullRebuilds:   d.fullRebuilds,
 		DirtyVertices:  d.dirtyVertices,
-		Epoch:          d.epoch,
+		Epoch:          d.epoch.Load(),
+		Seq:            d.seq.Load(),
 	}
 	if d.n > 0 {
 		st.Staleness = float64(d.dirtyVertices) / float64(d.n)

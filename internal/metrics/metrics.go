@@ -1,0 +1,125 @@
+// Package metrics holds the small self-contained observability pieces
+// shared by the replica server and the router: a lock-free sliding-window
+// latency sampler and helpers for rendering the Prometheus text
+// exposition format (version 0.0.4) without pulling in a client library.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is the sample capacity of a Latency recorder. Percentiles
+// are computed over the most recent latencyWindow observations — a
+// sliding window, so /v1/metrics reports current behavior rather than
+// the lifetime average.
+const latencyWindow = 4096
+
+// Latency is a fixed-size ring of recent request durations, safe for
+// concurrent Observe from any number of goroutines. The zero value is
+// ready to use.
+type Latency struct {
+	next atomic.Uint64
+	ring [latencyWindow]atomic.Int64 // nanoseconds
+}
+
+// Observe records one request duration.
+func (l *Latency) Observe(d time.Duration) {
+	i := l.next.Add(1) - 1
+	l.ring[i%latencyWindow].Store(int64(d))
+}
+
+// Count returns the number of durations observed so far.
+func (l *Latency) Count() int64 { return int64(l.next.Load()) }
+
+// Quantiles returns the requested quantiles (in [0,1]) over the current
+// window, in the order given, or nil when nothing has been observed.
+func (l *Latency) Quantiles(qs ...float64) []time.Duration {
+	n := l.next.Load()
+	if n == 0 {
+		return nil
+	}
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	samples := make([]int64, n)
+	for i := range samples {
+		samples[i] = l.ring[i].Load()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		j := int(q * float64(n-1))
+		if j < 0 {
+			j = 0
+		}
+		if j >= int(n) {
+			j = int(n) - 1
+		}
+		out[i] = time.Duration(samples[j])
+	}
+	return out
+}
+
+// Writer renders Prometheus text exposition: one Metric call per sample,
+// with HELP/TYPE emitted once per metric name.
+type Writer struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewWriter wraps w. Collect the first underlying error with Err.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Metric emits one sample. name must be a valid Prometheus metric name;
+// labels are "key=value" strings rendered in order; typ is "counter",
+// "gauge", or "summary" and — with help — is emitted before the first
+// sample of each name.
+func (m *Writer) Metric(name, help, typ string, value float64, labels ...string) {
+	if m.err != nil {
+		return
+	}
+	if !m.seen[name] {
+		m.seen[name] = true
+		if _, err := fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ); err != nil {
+			m.err = err
+			return
+		}
+	}
+	var lb string
+	if len(labels) > 0 {
+		parts := make([]string, len(labels))
+		for i, l := range labels {
+			k, v, _ := strings.Cut(l, "=")
+			parts[i] = fmt.Sprintf("%s=%q", k, v)
+		}
+		lb = "{" + strings.Join(parts, ",") + "}"
+	}
+	val := formatValue(value)
+	if _, err := fmt.Fprintf(m.w, "%s%s %s\n", name, lb, val); err != nil {
+		m.err = err
+	}
+}
+
+// Err reports the first write error, if any.
+func (m *Writer) Err() error { return m.err }
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without an exponent, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

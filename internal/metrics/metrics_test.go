@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantiles(t *testing.T) {
+	var l Latency
+	if got := l.Quantiles(0.5); got != nil {
+		t.Fatalf("empty recorder quantiles = %v, want nil", got)
+	}
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	qs := l.Quantiles(0, 0.5, 0.99, 1)
+	if qs[0] != 1*time.Millisecond || qs[3] != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v, want 1ms/100ms", qs[0], qs[3])
+	}
+	if qs[1] < 45*time.Millisecond || qs[1] > 55*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", qs[1])
+	}
+	if qs[2] < 95*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 95ms", qs[2])
+	}
+	if l.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", l.Count())
+	}
+}
+
+func TestLatencySlidingWindowAndConcurrency(t *testing.T) {
+	var l Latency
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 16000 {
+		t.Fatalf("Count = %d, want 16000", l.Count())
+	}
+	// Everything in the window is 1ms.
+	if qs := l.Quantiles(0.5); qs[0] != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms", qs[0])
+	}
+}
+
+func TestWriterExposition(t *testing.T) {
+	var sb strings.Builder
+	m := NewWriter(&sb)
+	m.Metric("x_total", "Things.", "counter", 3)
+	m.Metric("lat", "Latency.", "summary", 0.00125, "quantile=0.5")
+	m.Metric("lat", "Latency.", "summary", 0.5, "quantile=0.99")
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# HELP x_total Things.\n# TYPE x_total counter\nx_total 3\n" +
+		"# HELP lat Latency.\n# TYPE lat summary\n" +
+		"lat{quantile=\"0.5\"} 0.00125\nlat{quantile=\"0.99\"} 0.5\n"
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}

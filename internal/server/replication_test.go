@@ -1,0 +1,296 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	hopdb "repro"
+	"repro/internal/wire"
+)
+
+// getWithHeaders is get plus request headers and response header capture.
+func getWithHeaders(t *testing.T, url string, hdr map[string]string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestReplicationLogEndpoint(t *testing.T) {
+	q := testUpdatableQuerier(t)
+	s := New(q, Config{AdminToken: "tok"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Gated like the rest of the admin surface.
+	status, _, _ := getWithHeaders(t, ts.URL+"/v1/admin/replication/log", nil)
+	if status != http.StatusUnauthorized {
+		t.Fatalf("tokenless log request = %d, want 401", status)
+	}
+	auth := map[string]string{"Authorization": "Bearer tok"}
+
+	// Empty journal: empty ops array, not null.
+	status, body, _ := getWithHeaders(t, ts.URL+"/v1/admin/replication/log", auth)
+	if status != http.StatusOK || !strings.Contains(body, `"ops":[]`) {
+		t.Fatalf("empty log = %d %q, want 200 with \"ops\":[]", status, body)
+	}
+
+	// Two writes through the admin API; the update response reports seq.
+	status, body = postAdmin(t, ts.URL, "tok",
+		`[{"op":"insert","u":0,"v":5},{"op":"delete","u":2,"v":3}]`)
+	if status != http.StatusOK {
+		t.Fatalf("admin edges = %d %s", status, body)
+	}
+	var ur wire.UpdateResult
+	if err := json.Unmarshal([]byte(body), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Seq != 2 {
+		t.Fatalf("update result seq = %d, want 2", ur.Seq)
+	}
+
+	status, body, _ = getWithHeaders(t, ts.URL+"/v1/admin/replication/log?since=0", auth)
+	if status != http.StatusOK {
+		t.Fatalf("log = %d %s", status, body)
+	}
+	var log wire.ReplicationLog
+	if err := json.Unmarshal([]byte(body), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Seq != 2 || len(log.Ops) != 2 || log.Ops[0].Op != wire.OpInsert || log.Ops[1].Op != wire.OpDelete {
+		t.Fatalf("log = %+v, want insert+delete at head 2", log)
+	}
+
+	// since past the head is the client's fault.
+	status, _, _ = getWithHeaders(t, ts.URL+"/v1/admin/replication/log?since=99", auth)
+	if status != http.StatusBadRequest {
+		t.Fatalf("log since 99 = %d, want 400", status)
+	}
+	// Malformed cursor.
+	status, _, _ = getWithHeaders(t, ts.URL+"/v1/admin/replication/log?since=x", auth)
+	if status != http.StatusBadRequest {
+		t.Fatalf("log since x = %d, want 400", status)
+	}
+}
+
+func TestReplicationLogNeedsJournalingBackend(t *testing.T) {
+	s := New(testIndex(t), Config{AdminToken: "tok"}) // read-only heap backend
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, body, _ := getWithHeaders(t, ts.URL+"/v1/admin/replication/log",
+		map[string]string{"Authorization": "Bearer tok"})
+	if status != http.StatusNotImplemented {
+		t.Fatalf("log on heap backend = %d %q, want 501", status, body)
+	}
+}
+
+func TestResponseTaggingAndMinSeq(t *testing.T) {
+	q := testUpdatableQuerier(t)
+	s := New(q, Config{AdminToken: "tok"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Before any write: tagged at seq 0, and min-seq 0 passes.
+	status, _, hdr := getWithHeaders(t, ts.URL+"/v1/distance?s=0&t=3", nil)
+	if status != http.StatusOK || hdr.Get(wire.HeaderSeq) != "0" || hdr.Get(wire.HeaderEpoch) != "0" {
+		t.Fatalf("untouched server: status %d seq %q epoch %q, want 200/0/0",
+			status, hdr.Get(wire.HeaderSeq), hdr.Get(wire.HeaderEpoch))
+	}
+
+	// A demand the server cannot meet answers 503 with Retry-After.
+	status, body, hdr := getWithHeaders(t, ts.URL+"/v1/distance?s=0&t=3",
+		map[string]string{wire.HeaderMinSeq: "1"})
+	if status != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("behind min-seq: %d %q (Retry-After %q), want 503 with Retry-After",
+			status, body, hdr.Get("Retry-After"))
+	}
+
+	// After a write the demand is satisfiable and responses are tagged.
+	if status, body := postAdmin(t, ts.URL, "tok", `[{"op":"insert","u":0,"v":5}]`); status != http.StatusOK {
+		t.Fatalf("admin insert = %d %s", status, body)
+	}
+	status, _, hdr = getWithHeaders(t, ts.URL+"/v1/distance?s=0&t=5",
+		map[string]string{wire.HeaderMinSeq: "1"})
+	if status != http.StatusOK || hdr.Get(wire.HeaderSeq) != "1" {
+		t.Fatalf("caught up: status %d seq %q, want 200 at seq 1", status, hdr.Get(wire.HeaderSeq))
+	}
+
+	// Batches are gated and tagged the same way.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(`[[0,5]]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(wire.HeaderMinSeq, "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch behind min-seq = %d, want 503", resp.StatusCode)
+	}
+
+	// Malformed min-seq is the client's fault.
+	status, _, _ = getWithHeaders(t, ts.URL+"/v1/distance?s=0&t=3",
+		map[string]string{wire.HeaderMinSeq: "nope"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed min-seq = %d, want 400", status)
+	}
+
+	// A read-only backend cannot satisfy any positive demand.
+	s2 := New(testIndex(t), Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	status, _, hdr = getWithHeaders(t, ts2.URL+"/v1/distance?s=0&t=3",
+		map[string]string{wire.HeaderMinSeq: "1"})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("read-only backend with min-seq = %d, want 503", status)
+	}
+	if hdr.Get(wire.HeaderSeq) != "" {
+		t.Fatalf("read-only backend tagged seq %q, want no header", hdr.Get(wire.HeaderSeq))
+	}
+}
+
+func TestReplicaModeRejectsDirectWrites(t *testing.T) {
+	q := testUpdatableQuerier(t)
+	s := New(q, Config{AdminToken: "tok", Replica: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := postAdmin(t, ts.URL, "tok", `[{"op":"insert","u":0,"v":5}]`)
+	if status != http.StatusForbidden || !strings.Contains(body, "replica") {
+		t.Fatalf("write on replica = %d %q, want 403 mentioning replica", status, body)
+	}
+	// The replication log stays served (chained replicas pull it).
+	status, _, _ = getWithHeaders(t, ts.URL+"/v1/admin/replication/log",
+		map[string]string{"Authorization": "Bearer tok"})
+	if status != http.StatusOK {
+		t.Fatalf("replica log = %d, want 200", status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	q := testUpdatableQuerier(t)
+	s := New(q, Config{CacheEntries: 64, AdminToken: "tok"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Serve a few queries so the latency window has samples.
+	for i := 0; i < 5; i++ {
+		if status, _ := get(t, fmt.Sprintf("%s/v1/distance?s=0&t=%d", ts.URL, i)); status != http.StatusOK {
+			t.Fatalf("warmup query %d failed", i)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q, want text/plain", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"hopdb_queries_total 5",
+		"hopdb_qps",
+		`hopdb_request_duration_seconds{quantile="0.99"}`,
+		"hopdb_request_duration_seconds_count 5",
+		"hopdb_cache_hits_total",
+		"hopdb_cache_hit_rate",
+		"hopdb_update_epoch 0",
+		"hopdb_update_seq 0",
+		"# TYPE hopdb_queries_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// No metrics on the unversioned surface: it post-dates the aliases.
+	if status, _ := get(t, ts.URL+"/metrics"); status != http.StatusNotFound {
+		t.Errorf("unversioned /metrics = %d, want 404", status)
+	}
+}
+
+// TestReplicatedMutationPurgesCache guards the replica cache contract:
+// mutations arriving through the pull loop (ApplyReplicated directly on
+// the backend, bypassing the admin handler and its purge) must still
+// invalidate the distance cache — otherwise a replica would serve stale
+// cached answers stamped with the new sequence.
+func TestReplicatedMutationPurgesCache(t *testing.T) {
+	q := testUpdatableQuerier(t)
+	s := New(q, Config{CacheEntries: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Prime the cache: 0 and 4 are in different components.
+	status, body := get(t, ts.URL+"/v1/distance?s=0&t=4")
+	if status != http.StatusOK || !strings.Contains(body, `"reachable":false`) {
+		t.Fatalf("pre-update query = %d %q, want unreachable", status, body)
+	}
+
+	// The pull loop applies a bridging insert directly on the backend.
+	rep := q.(hopdb.Replicator)
+	err := rep.ApplyReplicated(hopdb.ReplicationOp{
+		Seq: 1, Epoch: 1,
+		EdgeOp: wire.EdgeOp{Op: wire.OpInsert, U: 3, V: 4, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = get(t, ts.URL+"/v1/distance?s=0&t=4")
+	if status != http.StatusOK || !strings.Contains(body, `"distance":4`) {
+		t.Fatalf("post-update query = %d %q, want distance 4 (stale cache served?)", status, body)
+	}
+}
+
+// TestReplicationLogMaxZeroClamped pins that max=0 does not disable the
+// page cap.
+func TestReplicationLogMaxZeroClamped(t *testing.T) {
+	q := testUpdatableQuerier(t)
+	s := New(q, Config{AdminToken: "tok", MaxBatch: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, op := range []string{
+		`[{"op":"insert","u":0,"v":4}]`, `[{"op":"insert","u":0,"v":5}]`, `[{"op":"insert","u":1,"v":4}]`,
+	} {
+		if status, body := postAdmin(t, ts.URL, "tok", op); status != http.StatusOK {
+			t.Fatalf("insert = %d %s", status, body)
+		}
+	}
+	status, body, _ := getWithHeaders(t, ts.URL+"/v1/admin/replication/log?since=0&max=0",
+		map[string]string{"Authorization": "Bearer tok"})
+	if status != http.StatusOK {
+		t.Fatalf("log max=0 = %d %s", status, body)
+	}
+	var log wire.ReplicationLog
+	if err := json.Unmarshal([]byte(body), &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Ops) != 2 || !log.Truncated {
+		t.Fatalf("log max=0 returned %d ops (truncated=%v), want the MaxBatch cap of 2", len(log.Ops), log.Truncated)
+	}
+}

@@ -20,9 +20,21 @@
 //	GET  /v1/stats -> backend kind, index size, uptime, query counters,
 //	                  cache hit rate (cache section omitted when disabled),
 //	                  update counters (updates section, updatable backends)
+//	GET  /v1/metrics -> Prometheus text exposition: QPS, latency
+//	                  quantiles, cache hit rate, epoch/sequence
 //	POST /v1/admin/edges [{"op":"insert","u":1,"v":2,"w":3},...]
-//	                  -> {"applied":N,"stats":{...}}  (bearer-token gated,
-//	                  /v1 only; needs an updatable backend)
+//	                  -> {"applied":N,"seq":S,"stats":{...}}  (bearer-token
+//	                  gated, /v1 only; needs an updatable backend)
+//	GET  /v1/admin/replication/log?since=N[&max=M]
+//	                  -> {"seq":S,"epoch":E,"ops":[...]}  (bearer-token
+//	                  gated; needs a journaling backend — replicas pull
+//	                  this to converge on the primary's label epochs)
+//
+// Replication-aware serving: when the backend journals its mutations
+// (hopdb.Replicator), every query response carries X-Hopdb-Seq and
+// X-Hopdb-Epoch, and a request may demand read-your-writes freshness
+// with X-Hopdb-Min-Seq — a server still behind that sequence answers 503
+// so a router or retrying client moves on to a caught-up replica.
 //
 // Errors are always {"error":"..."} with a matching HTTP status: 400 for
 // malformed input, 401/403 for admin requests with a bad/absent token,
@@ -48,6 +60,7 @@ import (
 	"time"
 
 	hopdb "repro"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -68,9 +81,15 @@ type Config struct {
 	// Timeout bounds request handling end-to-end; 0 disables it.
 	Timeout time.Duration
 	// AdminToken is the bearer token gating the mutating admin API
-	// (POST /v1/admin/edges). Empty disables the admin surface entirely
-	// — requests answer 403 regardless of the backend's capabilities.
+	// (POST /v1/admin/edges) and the replication log. Empty disables the
+	// admin surface entirely — requests answer 403 regardless of the
+	// backend's capabilities.
 	AdminToken string
+	// Replica marks this server as a pull replica: POST /v1/admin/edges
+	// answers 403 (direct writes would fork the op sequence away from
+	// the primary), while the replication log stays served so replicas
+	// can be chained.
+	Replica bool
 }
 
 // Server answers distance queries over HTTP from one shared Querier.
@@ -79,15 +98,22 @@ type Server struct {
 	lookup  hopdb.Lookuper      // non-nil when q reports per-query errors
 	blookup hopdb.LookupBatcher // non-nil when q reports batch errors
 	updater hopdb.Updatable     // non-nil when q accepts online edge updates
+	rep     hopdb.Replicator    // non-nil when q journals mutations for replication
 	backend hopdb.QuerierStats  // snapshot at startup (backend kind, directedness)
 	cfg     Config
 	cache   *distCache       // nil when disabled
 	now     func() time.Time // injectable clock, for deterministic stats tests
 	start   time.Time
-	queries atomic.Int64 // individual pair lookups answered
-	adminMu sync.Mutex   // serializes admin mutations (one writer at a time)
-	ctxPool sync.Pool
-	handler http.Handler
+	queries atomic.Int64    // individual pair lookups answered
+	lat     metrics.Latency // sliding window of query-request latencies
+	// cacheSeq is the journal sequence the distance cache was last known
+	// valid at. Replicated mutations (cluster.Pull) bypass the admin
+	// handler and its purge, so every query request compares the live
+	// sequence against this and purges on movement.
+	cacheSeq atomic.Int64
+	adminMu  sync.Mutex // serializes admin mutations (one writer at a time)
+	ctxPool  sync.Pool
+	handler  http.Handler
 }
 
 // jsonPair decodes one [s,t] element of a /v1/batch request, rejecting
@@ -148,6 +174,7 @@ func New(q hopdb.Querier, cfg Config) *Server {
 	s.lookup, _ = q.(hopdb.Lookuper)
 	s.blookup, _ = q.(hopdb.LookupBatcher)
 	s.updater, _ = q.(hopdb.Updatable)
+	s.rep, _ = q.(hopdb.Replicator)
 	s.ctxPool.New = func() any { return &queryCtx{} }
 
 	mux := http.NewServeMux()
@@ -160,9 +187,12 @@ func New(q hopdb.Querier, cfg Config) *Server {
 		mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
 		mux.HandleFunc(prefix+"/stats", s.handleStats)
 	}
-	// The mutating admin surface exists only under /v1: it post-dates
-	// the unversioned aliases, so no legacy spelling is owed.
+	// The mutating admin surface, the replication log, and the metrics
+	// exposition exist only under /v1: they post-date the unversioned
+	// aliases, so no legacy spellings are owed.
 	mux.HandleFunc("/v1/admin/edges", s.handleAdminEdges)
+	mux.HandleFunc("/v1/admin/replication/log", s.handleReplicationLog)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	var h http.Handler = mux
 	if cfg.Timeout > 0 {
 		h = http.TimeoutHandler(h, cfg.Timeout, `{"error":"request timed out"}`)
@@ -274,8 +304,56 @@ func (s *Server) distanceBatch(qc *queryCtx) error {
 	return nil
 }
 
+// replicationGate runs the per-request replication protocol, all against
+// one observed journal position (lock-free reads — tagging must never
+// contend with a writer holding the maintenance lock through a rebuild):
+// purge the distance cache if the sequence moved without passing through
+// this server's admin handler (pull-loop mutations mutate the backend
+// directly), stamp the response with the position, and enforce the
+// X-Hopdb-Min-Seq read-your-writes demand — a server still behind it
+// answers 503 (retryable: the router or client tries a caught-up
+// replica). Returns false when the request was answered here.
+//
+// The position is read before the backend query, so a reported seq is
+// never newer than the epoch that actually answers.
+func (s *Server) replicationGate(w http.ResponseWriter, r *http.Request) bool {
+	seq := int64(-1) // -1: backend does not journal, no demand satisfiable
+	if s.rep != nil {
+		seq = s.rep.Seq()
+		if s.cache != nil && s.cacheSeq.Load() != seq && s.cacheSeq.Swap(seq) != seq {
+			s.cache.purge()
+		}
+		w.Header().Set(wire.HeaderSeq, strconv.FormatInt(seq, 10))
+		w.Header().Set(wire.HeaderEpoch, strconv.FormatInt(s.rep.Epoch(), 10))
+	}
+	raw := r.Header.Get(wire.HeaderMinSeq)
+	if raw == "" {
+		return true
+	}
+	min, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s %q is not a sequence number", wire.HeaderMinSeq, raw))
+		return false
+	}
+	if min <= 0 {
+		return true
+	}
+	if seq < min {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("serving at seq %d, behind required min-seq %d", max(seq, 0), min))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
+	defer func() { s.lat.Observe(s.now().Sub(t0)) }()
 	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	if !s.replicationGate(w, r) {
 		return
 	}
 	sv, tv, ok := parsePair(w, r)
@@ -296,7 +374,12 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
+	defer func() { s.lat.Observe(s.now().Sub(t0)) }()
 	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !s.replicationGate(w, r) {
 		return
 	}
 	ct := r.Header.Get("Content-Type")
@@ -439,7 +522,12 @@ func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
+	defer func() { s.lat.Observe(s.now().Sub(t0)) }()
 	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	if !s.replicationGate(w, r) {
 		return
 	}
 	sv, tv, ok := parsePair(w, r)
@@ -488,13 +576,12 @@ func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
-	if s.cfg.AdminToken == "" {
-		writeError(w, http.StatusForbidden, "admin API disabled; start the server with an admin token")
+	if !s.checkAdminToken(w, r) {
 		return
 	}
-	auth, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	if !ok || subtle.ConstantTimeCompare([]byte(auth), []byte(s.cfg.AdminToken)) != 1 {
-		writeError(w, http.StatusUnauthorized, "missing or invalid admin bearer token")
+	if s.cfg.Replica {
+		writeError(w, http.StatusForbidden,
+			"this server is a pull replica; apply edge updates at the primary")
 		return
 	}
 	if s.updater == nil {
@@ -537,7 +624,7 @@ func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
 		s.cache.purge()
 	}
 	st := s.updater.UpdateStats()
-	res := wire.UpdateResult{Applied: applied, Stats: &st}
+	res := wire.UpdateResult{Applied: applied, Stats: &st, Seq: st.Seq}
 	if err != nil {
 		res.Error = err.Error()
 		// Validation failures (bad vertex, missing edge, bad weight,
@@ -555,6 +642,129 @@ func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// checkAdminToken gates the admin surface: 403 when the server has no
+// token configured, 401 when the request's bearer token does not match.
+func (s *Server) checkAdminToken(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		writeError(w, http.StatusForbidden, "admin API disabled; start the server with an admin token")
+		return false
+	}
+	auth, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(auth), []byte(s.cfg.AdminToken)) != 1 {
+		writeError(w, http.StatusUnauthorized, "missing or invalid admin bearer token")
+		return false
+	}
+	return true
+}
+
+// handleReplicationLog serves the mutation journal: GET
+// /v1/admin/replication/log?since=N[&max=M] answers the ops committed
+// after sequence N so a replica (or a chained one — replicas serve their
+// own journal too) can replay them. Gated by the admin bearer token like
+// the rest of the admin surface. 410 Gone means the cursor fell out of
+// the retained window and the puller must reseed from a snapshot.
+func (s *Server) handleReplicationLog(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	if !s.checkAdminToken(w, r) {
+		return
+	}
+	if s.rep == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("the %s backend does not journal mutations; replication needs hopdb-serve -updates", s.backend.Backend))
+		return
+	}
+	q := r.URL.Query()
+	parse := func(name string, def int64) (int64, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			return def, true
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter %s=%q is not a non-negative integer", name, raw))
+			return 0, false
+		}
+		return v, true
+	}
+	since, ok := parse("since", 0)
+	if !ok {
+		return
+	}
+	max, ok := parse("max", int64(s.cfg.MaxBatch))
+	if !ok {
+		return
+	}
+	// The clamp is unconditional: max=0 must not disable the cap and let
+	// one request serialize (and copy, under the maintenance lock) a
+	// million-op journal.
+	if max <= 0 || max > int64(s.cfg.MaxBatch) {
+		max = int64(s.cfg.MaxBatch)
+	}
+	log, err := s.rep.ReplicationLog(since, int(max))
+	switch {
+	case errors.Is(err, hopdb.ErrJournalGap):
+		writeError(w, http.StatusGone, err.Error())
+		return
+	case errors.Is(err, hopdb.ErrSeqGap):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if log.Ops == nil {
+		// Keep the documented shape: a caught-up pull answers
+		// {"ops":[]}, never {"ops":null}.
+		log.Ops = []wire.SeqEdgeOp{}
+	}
+	writeJSON(w, http.StatusOK, log)
+}
+
+// handleMetrics serves the Prometheus text exposition (plaintext, no
+// client library): query counters, latency quantiles over a sliding
+// window, cache effectiveness, and the replication position.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	st := s.Stats()
+	w.Header().Set("Content-Type", metrics.ContentType)
+	m := metrics.NewWriter(w)
+	m.Metric("hopdb_up", "Whether the server is serving.", "gauge", 1)
+	m.Metric("hopdb_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds)
+	m.Metric("hopdb_queries_total", "Individual pair lookups answered.", "counter", float64(st.Queries))
+	m.Metric("hopdb_qps", "Lifetime average pair lookups per second.", "gauge", st.QPS)
+	m.Metric("hopdb_index_vertices", "Indexed vertices.", "gauge", float64(st.Vertices))
+	m.Metric("hopdb_index_size_bytes", "Serialized label size.", "gauge", float64(st.SizeBytes))
+	if qs := s.lat.Quantiles(0.5, 0.95, 0.99); qs != nil {
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			m.Metric("hopdb_request_duration_seconds",
+				"Query request latency over a sliding window of recent requests.", "summary",
+				qs[i].Seconds(), "quantile="+q)
+		}
+	}
+	m.Metric("hopdb_request_duration_seconds_count",
+		"Query requests observed by the latency window.", "counter", float64(s.lat.Count()))
+	if st.Cache != nil {
+		m.Metric("hopdb_cache_hits_total", "Distance cache hits.", "counter", float64(st.Cache.Hits))
+		m.Metric("hopdb_cache_misses_total", "Distance cache misses.", "counter", float64(st.Cache.Misses))
+		m.Metric("hopdb_cache_hit_rate", "Distance cache hit rate.", "gauge", st.Cache.HitRate)
+		m.Metric("hopdb_cache_entries", "Distance cache resident entries.", "gauge", float64(st.Cache.Entries))
+	}
+	if st.Updates != nil {
+		m.Metric("hopdb_update_epoch", "Published label epoch.", "gauge", float64(st.Updates.Epoch))
+		m.Metric("hopdb_update_seq", "Last committed journal sequence number.", "gauge", float64(st.Updates.Seq))
+		m.Metric("hopdb_update_inserts_total", "Effective edge inserts.", "counter", float64(st.Updates.Inserts))
+		m.Metric("hopdb_update_deletes_total", "Effective edge deletes.", "counter", float64(st.Updates.Deletes))
+		m.Metric("hopdb_update_staleness", "Dirty-vertex fraction since the last full rebuild.", "gauge", st.Updates.Staleness)
+	}
+	// A write error mid-exposition leaves a partial response; there is
+	// nothing useful to do about it.
+	_ = m.Err()
 }
 
 // Stats snapshots the serving counters (also served as /v1/stats). The
@@ -633,12 +843,7 @@ func parsePair(w http.ResponseWriter, r *http.Request) (sv, tv int32, ok bool) {
 
 // allowMethod writes a 405 (with Allow) unless r uses the given method.
 func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method != method {
-		w.Header().Set("Allow", method)
-		writeError(w, http.StatusMethodNotAllowed, r.Method+" not allowed; use "+method)
-		return false
-	}
-	return true
+	return wire.AllowMethod(w, r, method)
 }
 
 // readAllInto appends r's contents to dst, like io.ReadAll but reusing
@@ -659,12 +864,6 @@ func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
+func writeJSON(w http.ResponseWriter, status int, v any) { wire.WriteJSON(w, status, v) }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
-}
+func writeError(w http.ResponseWriter, status int, msg string) { wire.WriteError(w, status, msg) }

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Shared HTTP plumbing for the serving tiers (internal/server and
+// internal/cluster speak the same error shape and retryability rules;
+// the public client mirrors the latter).
+
+// TransientStatus reports whether an HTTP status indicates a failure
+// worth retrying on another replica (or the same one, later): the
+// gateway-ish statuses, including the 503 a min-seq-behind replica
+// answers — but never a 4xx (the client's fault everywhere) or a clean
+// 2xx.
+func TransientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// AllowMethod writes a 405 (with Allow) unless r uses the given method.
+func AllowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		WriteError(w, http.StatusMethodNotAllowed, r.Method+" not allowed; use "+method)
+		return false
+	}
+	return true
+}
+
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the API's uniform {"error": msg} shape.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, map[string]string{"error": msg})
+}

@@ -46,6 +46,9 @@ const (
 	// the index accepts InsertEdge/DeleteEdge and republishes a fresh
 	// immutable label epoch after every effective mutation.
 	BackendDynamic Backend = "dynamic"
+	// BackendRouter is the stateless fan-out tier (cmd/hopdb-router): it
+	// holds no labels itself and balances queries across a replica fleet.
+	BackendRouter Backend = "router"
 )
 
 // QuerierStats describes a query backend: what serves the answers and how
@@ -148,7 +151,61 @@ type UpdateStats struct {
 	// per effective mutation, so readers can correlate answers with
 	// graph states.
 	Epoch int64 `json:"epoch"`
+	// Seq is the sequence number of the last journaled mutation (see
+	// SeqEdgeOp); it advances in lockstep with Epoch on a primary and
+	// tracks the primary's numbering on a replica. Zero before the first
+	// effective mutation.
+	Seq int64 `json:"seq"`
 }
+
+// SeqEdgeOp is one entry of the replication journal: an effective edge
+// mutation stamped with the monotonically increasing sequence number it
+// committed at and the label epoch it published. Replaying a journal in
+// sequence order on a replica that started from the same index file
+// reproduces the primary's label epochs byte for byte.
+type SeqEdgeOp struct {
+	Seq   int64 `json:"seq"`
+	Epoch int64 `json:"epoch"`
+	EdgeOp
+}
+
+// ReplicationLog is the JSON answer for GET /v1/admin/replication/log:
+// the journal suffix after Since, plus the server's current head so a
+// replica can tell how far behind it still is.
+type ReplicationLog struct {
+	// Since echoes the request's ?since= cursor.
+	Since int64 `json:"since"`
+	// Seq and Epoch are the server's current journal head (not the last
+	// op in Ops: with Truncated set there are more ops beyond it).
+	Seq   int64 `json:"seq"`
+	Epoch int64 `json:"epoch"`
+	// Ops holds the journaled mutations with Since < op.Seq, in sequence
+	// order.
+	Ops []SeqEdgeOp `json:"ops"`
+	// Truncated reports that the response was capped and another pull
+	// (from the last returned seq) is needed to reach the head.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Replication and routing headers. Servers stamp every query response
+// with the label epoch/sequence that answered it; clients demand
+// read-your-writes by sending the minimum sequence they require.
+const (
+	// HeaderSeq carries the answering backend's journal sequence number
+	// on query responses.
+	HeaderSeq = "X-Hopdb-Seq"
+	// HeaderEpoch carries the answering backend's label epoch on query
+	// responses.
+	HeaderEpoch = "X-Hopdb-Epoch"
+	// HeaderMinSeq, on a request, demands the answer come from a backend
+	// at or past that journal sequence; a server that is behind answers
+	// 503 so routers and retrying clients move on to a caught-up replica.
+	HeaderMinSeq = "X-Hopdb-Min-Seq"
+	// HeaderNoHedge, on a request to hopdb-router, disables hedged
+	// requests for that request (used by hopdb-bench serve -hedge to
+	// measure tail latency with hedging on and off).
+	HeaderNoHedge = "X-Hopdb-No-Hedge"
+)
 
 // EdgeOp is one edge mutation of an update batch: the body element of
 // POST /v1/admin/edges and the parsed form of a hopdb-update delta line.
@@ -175,6 +232,10 @@ type UpdateResult struct {
 	Applied int          `json:"applied"`
 	Error   string       `json:"error,omitempty"`
 	Stats   *UpdateStats `json:"stats,omitempty"`
+	// Seq is the journal sequence number after the batch: pass it as
+	// X-Hopdb-Min-Seq on subsequent queries for read-your-writes through
+	// a router or a replica.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // CacheStats reports distance-cache effectiveness in /v1/stats.

@@ -21,7 +21,7 @@ type openConfig struct {
 	graph     *Graph
 	bp        bool
 	bpRoots   int
-	remote    string
+	remotes   []string
 	httpc     *http.Client
 	updates   bool
 	updateOpt UpdateOptions
@@ -64,7 +64,17 @@ func WithBitParallel(roots int) OpenOption {
 // repro/client), which also implements Pather when the server has a
 // graph attached.
 func WithRemote(url string) OpenOption {
-	return func(c *openConfig) { c.remote = url }
+	return WithRemotes(url)
+}
+
+// WithRemotes is WithRemote over a replica fleet: the returned Querier
+// prefers one endpoint at a time and fails over to the next on transient
+// errors (connection failures, 502/503/504), with capped exponential
+// backoff and jitter between attempts. All endpoints must serve the same
+// index — hopdb-serve replicas converged through the replication log, or
+// hopdb-router instances in front of them.
+func WithRemotes(urls ...string) OpenOption {
+	return func(c *openConfig) { c.remotes = urls }
 }
 
 // WithHTTPClient sets the http.Client a WithRemote backend uses (for
@@ -103,14 +113,14 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.remote != "" {
+	if len(cfg.remotes) > 0 {
 		if path != "" {
-			return nil, fmt.Errorf("hopdb: Open: path must be empty with WithRemote, got %q", path)
+			return nil, fmt.Errorf("hopdb: Open: path must be empty with WithRemote(s), got %q", path)
 		}
 		if cfg.mmap || cfg.disk || cfg.graph != nil || cfg.bp || cfg.updates {
-			return nil, fmt.Errorf("hopdb: Open: WithRemote cannot be combined with local-backend options")
+			return nil, fmt.Errorf("hopdb: Open: WithRemote(s) cannot be combined with local-backend options")
 		}
-		return client.New(cfg.remote, client.Options{HTTPClient: cfg.httpc})
+		return client.NewMulti(cfg.remotes, client.Options{HTTPClient: cfg.httpc})
 	}
 	if cfg.updates {
 		if cfg.mmap || cfg.disk {
@@ -129,6 +139,8 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 		dyn, err := dynamic.New(idx.flat, cfg.graph, dynamic.Options{
 			MaxStaleFraction:   cfg.updateOpt.MaxStaleFraction,
 			RebuildParallelism: cfg.updateOpt.RebuildParallelism,
+			JournalLimit:       cfg.updateOpt.JournalLimit,
+			InitialSeq:         cfg.updateOpt.InitialSeq,
 		})
 		if err != nil {
 			return nil, err

@@ -99,6 +99,7 @@ var (
 	_ LookupBatcher = (*diskQuerier)(nil)
 	_ LookupBatcher = (*dynQuerier)(nil)
 	_ Updatable     = (*dynQuerier)(nil)
+	_ Replicator    = (*dynQuerier)(nil)
 )
 
 // Lookup implements Lookuper; in-memory queries cannot fail, so the

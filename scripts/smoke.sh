@@ -3,6 +3,10 @@
 # index in both formats, start hopdb-serve (heap, then -disk), and check
 # that /v1/distance and /v1/batch answer exactly what hopdb-query answers
 # on the same index — and that the legacy unversioned routes alias /v1.
+# Then the cluster stage: a primary + two pull replicas behind
+# hopdb-router, an update applied through the router's admin proxy,
+# replication convergence, read-your-writes through the router, and a
+# replica kill mid-serving with zero failed queries.
 # Run from the repo root (CI runs it as a dedicated job); needs curl.
 set -euo pipefail
 
@@ -10,8 +14,10 @@ PORT="${SMOKE_PORT:-18357}"
 BASE="http://127.0.0.1:$PORT"
 tmp=$(mktemp -d)
 pid=""
+pids=""
 cleanup() {
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  for p in $pids; do kill "$p" 2>/dev/null || true; done
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -23,6 +29,16 @@ wait_healthy() {
     sleep 0.2
   done
   curl -fsS "$BASE/v1/healthz" >/dev/null
+}
+
+# wait_healthy_at <base-url> <pid>
+wait_healthy_at() {
+  for _ in $(seq 1 50); do
+    curl -fsS "$1/v1/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$2" 2>/dev/null || { echo "server at $1 died during startup" >&2; return 1; }
+    sleep 0.2
+  done
+  curl -fsS "$1/v1/healthz" >/dev/null
 }
 
 echo "== building binaries"
@@ -90,5 +106,74 @@ diff -u "$tmp/expected.jsonl" "$tmp/served_disk.jsonl" || { echo "-disk answers 
 kill -TERM "$pid"
 wait "$pid"
 pid=""
+
+echo "== cluster: primary + 2 replicas behind hopdb-router"
+TOKEN=smoke-secret
+P0=$((PORT+1)); P1=$((PORT+2)); P2=$((PORT+3)); PR=$((PORT+4))
+PRIMARY="http://127.0.0.1:$P0"
+ROUTER="http://127.0.0.1:$PR"
+"$tmp/bin/hopdb-serve" -idx "$tmp/g.idx" -graph "$tmp/g.txt" -updates \
+  -admin-token "$TOKEN" -addr "127.0.0.1:$P0" &
+primary_pid=$!; pids="$pids $primary_pid"
+wait_healthy_at "$PRIMARY" "$primary_pid"
+replica_pids=()
+for p in "$P1" "$P2"; do
+  "$tmp/bin/hopdb-serve" -idx "$tmp/g.idx" -graph "$tmp/g.txt" -updates \
+    -replica-of "$PRIMARY" -replica-token "$TOKEN" -replica-interval 100ms \
+    -addr "127.0.0.1:$p" &
+  rp=$!; pids="$pids $rp"; replica_pids+=("$rp")
+  wait_healthy_at "http://127.0.0.1:$p" "$rp"
+done
+"$tmp/bin/hopdb-router" -replicas "$PRIMARY,http://127.0.0.1:$P1,http://127.0.0.1:$P2" \
+  -primary "$PRIMARY" -hedge 50ms -addr "127.0.0.1:$PR" &
+router_pid=$!; pids="$pids $router_pid"
+wait_healthy_at "$ROUTER" "$router_pid"
+
+echo "== applying an edge delete at the primary through the router's admin proxy"
+# Delete the graph's first edge: guaranteed effective, so it gets seq 1.
+read -r EU EV < <(awk '!/^[#%]/ { print $1, $2; exit }' "$tmp/g.txt")
+code=$(curl -s -o "$tmp/update.json" -w '%{http_code}' -X POST \
+  -H "Authorization: Bearer $TOKEN" -H "Content-Type: application/json" \
+  --data-binary "[{\"op\":\"delete\",\"u\":$EU,\"v\":$EV}]" "$ROUTER/v1/admin/edges")
+[ "$code" = "200" ] || { echo "admin delete via router returned $code: $(cat "$tmp/update.json")" >&2; exit 1; }
+grep -q '"seq":1' "$tmp/update.json" || { echo "update response missing seq 1: $(cat "$tmp/update.json")" >&2; exit 1; }
+
+echo "== waiting for both replicas to reach seq 1"
+for p in "$P1" "$P2"; do
+  ok=""
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:$p/v1/stats" | grep -q '"seq":1'; then ok=1; break; fi
+    sleep 0.2
+  done
+  [ -n "$ok" ] || { echo "replica on port $p never reached seq 1" >&2; exit 1; }
+done
+
+echo "== diffing router answers (read-your-writes) against hopdb-query on the patched index"
+printf -- "- %s %s\n" "$EU" "$EV" >"$tmp/delta.txt"
+"$tmp/bin/hopdb-update" -idx "$tmp/g.idx" -graph "$tmp/g.txt" -delta "$tmp/delta.txt" -o "$tmp/g2.idx"
+"$tmp/bin/hopdb-query" -idx "$tmp/g2.idx" -q "$tmp/pairs.txt" >"$tmp/cli2.txt" || [ $? -eq 1 ]
+awk '{
+  if ($3 == "unreachable") printf("{\"s\":%s,\"t\":%s,\"reachable\":false}\n", $1, $2);
+  else printf("{\"s\":%s,\"t\":%s,\"distance\":%s,\"reachable\":true}\n", $1, $2, $3);
+}' "$tmp/cli2.txt" >"$tmp/expected2.jsonl"
+while read -r s t; do
+  curl -fsS -H "X-Hopdb-Min-Seq: 1" "$ROUTER/v1/distance?s=$s&t=$t"
+done <"$tmp/pairs.txt" >"$tmp/served_router.jsonl"
+diff -u "$tmp/expected2.jsonl" "$tmp/served_router.jsonl" || { echo "router answers diverge from the patched index" >&2; exit 1; }
+
+echo "== killing one replica mid-serving; the router must keep answering"
+kill -9 "${replica_pids[0]}"
+while read -r s t; do
+  curl -fsS -H "X-Hopdb-Min-Seq: 1" "$ROUTER/v1/distance?s=$s&t=$t"
+done <"$tmp/pairs.txt" >"$tmp/served_router_degraded.jsonl"
+diff -u "$tmp/expected2.jsonl" "$tmp/served_router_degraded.jsonl" || { echo "router answers changed after the replica kill" >&2; exit 1; }
+
+echo "== metrics expositions"
+curl -fsS "$ROUTER/v1/metrics" | grep -q '^hopdb_router_up 1' || { echo "router /v1/metrics missing hopdb_router_up" >&2; exit 1; }
+curl -fsS "$PRIMARY/v1/metrics" | grep -q '^hopdb_queries_total ' || { echo "primary /v1/metrics missing hopdb_queries_total" >&2; exit 1; }
+
+echo "== hedging A/B through hopdb-bench serve -hedge"
+"$tmp/bin/hopdb-bench" -url "$ROUTER" -requests 200 -conc 4 -hedge serve | tee "$tmp/hedge.txt"
+grep -q 'p99 delta with hedging' "$tmp/hedge.txt" || { echo "hedge comparison output missing" >&2; exit 1; }
 
 echo "smoke OK"

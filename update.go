@@ -42,7 +42,46 @@ var (
 	// ErrUnknownOp is returned by ApplyEdgeOps for an EdgeOp whose Op is
 	// neither OpInsert nor OpDelete.
 	ErrUnknownOp = errors.New("hopdb: unknown edge op")
+	// ErrJournalGap is returned by Replicator.ReplicationLog when the
+	// requested cursor precedes the retained journal window: the puller
+	// must reseed from a fresh snapshot.
+	ErrJournalGap = dynamic.ErrJournalGap
+	// ErrSeqGap is returned for out-of-order replication sequence numbers
+	// (a pull skipped ops, or the cursor is past the journal head).
+	ErrSeqGap = dynamic.ErrSeqGap
 )
+
+// ReplicationOp is one journaled edge mutation: an EdgeOp stamped with
+// the sequence number it committed at and the label epoch it published.
+type ReplicationOp = wire.SeqEdgeOp
+
+// ReplicationLog is a journal suffix plus the serving head, as returned
+// by Replicator.ReplicationLog and GET /v1/admin/replication/log.
+type ReplicationLog = wire.ReplicationLog
+
+// Replicator is the optional extension of Updatable for backends that
+// journal their mutations for replication: an index opened with
+// WithUpdates. A primary serves its journal through ReplicationLog;
+// replicas that loaded the same index file replay it in order through
+// ApplyReplicated, converging to byte-identical label epochs (the
+// maintenance code is deterministic). Seq is the read-your-writes
+// currency: servers stamp it on every response, and clients demand it
+// with the X-Hopdb-Min-Seq header.
+type Replicator interface {
+	// Seq returns the sequence number of the last committed mutation
+	// (zero before the first). Lock-free: safe to call per response.
+	Seq() int64
+	// Epoch returns the current published label epoch. Lock-free.
+	Epoch() int64
+	// ReplicationLog returns the journaled ops after since (capped at
+	// max when max > 0). ErrJournalGap means since is older than the
+	// retained window; ErrSeqGap means it is past the head.
+	ReplicationLog(since int64, max int) (ReplicationLog, error)
+	// ApplyReplicated applies one pulled op under the primary's sequence
+	// number. Ops at or below the current sequence are ignored; a gap
+	// returns ErrSeqGap.
+	ApplyReplicated(op ReplicationOp) error
+}
 
 // UpdateOptions tunes online label maintenance; see WithUpdates.
 type UpdateOptions struct {
@@ -54,6 +93,16 @@ type UpdateOptions struct {
 	// RebuildParallelism shards full rebuilds across goroutines;
 	// <= 1 rebuilds serially.
 	RebuildParallelism int
+	// JournalLimit bounds the in-memory replication journal, in ops.
+	// Zero selects the default of one million; negative keeps it
+	// unbounded. See Replicator.
+	JournalLimit int
+	// InitialSeq positions the index at a non-zero journal sequence:
+	// set it when the index file is a snapshot of a primary that had
+	// already committed InitialSeq mutations (its /v1/stats updates.seq
+	// at save time), so a replica resumes pulling from there instead of
+	// replaying — or failing to obtain — the primary's earlier history.
+	InitialSeq int64
 }
 
 // Updatable is the optional extension of Querier for backends that
@@ -137,6 +186,15 @@ func (q *dynQuerier) Path(s, t int32) ([]int32, error) { return q.d.Path(s, t) }
 func (q *dynQuerier) InsertEdge(u, v, w int32) error { return q.d.InsertEdge(u, v, w) }
 func (q *dynQuerier) DeleteEdge(u, v int32) error    { return q.d.DeleteEdge(u, v) }
 func (q *dynQuerier) UpdateStats() UpdateStats       { return q.d.Stats() }
+
+// Replicator implementation: the maintenance engine journals every
+// effective mutation.
+func (q *dynQuerier) Seq() int64   { return q.d.Seq() }
+func (q *dynQuerier) Epoch() int64 { return q.d.Epoch() }
+func (q *dynQuerier) ReplicationLog(since int64, max int) (ReplicationLog, error) {
+	return q.d.ReplicationLog(since, max)
+}
+func (q *dynQuerier) ApplyReplicated(op ReplicationOp) error { return q.d.ApplyReplicated(op) }
 
 // Save writes the current label epoch in the v2 flat format.
 func (q *dynQuerier) Save(path string) error {
