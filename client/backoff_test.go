@@ -1,0 +1,139 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// newBareClient builds a Client around ts without the NewMulti
+// handshake, with the retry loop's clock and jitter source captured:
+// every sleep is recorded instead of slept, and rnd is caller-chosen.
+func newBareClient(ts *httptest.Server, attempts int, base, max time.Duration, rnd func(int64) int64) (*Client, *[]time.Duration) {
+	slept := &[]time.Duration{}
+	endpoint, httpc := "http://unused.invalid", http.DefaultClient
+	if ts != nil {
+		endpoint, httpc = ts.URL, ts.Client()
+	}
+	var mu sync.Mutex
+	c := &Client{
+		endpoints: []string{endpoint},
+		httpc:     httpc,
+		prefix:    "/v1",
+		attempts:  attempts,
+		retryBase: base,
+		retryMax:  max,
+		sleep: func(d time.Duration) {
+			mu.Lock()
+			*slept = append(*slept, d)
+			mu.Unlock()
+		},
+		rnd: rnd,
+	}
+	c.bufPool.New = func() any { return new([]byte) }
+	return c, slept
+}
+
+// TestBackoffBounds pins the backoff window arithmetic: exponential
+// doubling from RetryBase, capped at RetryMax, with the jitter draw
+// confined to the upper half [d/2, d] of the computed delay.
+func TestBackoffBounds(t *testing.T) {
+	const (
+		base = 100 * time.Millisecond
+		max  = 250 * time.Millisecond
+	)
+	// The uncapped delays are 100ms, 200ms, then the 250ms cap forever.
+	wantDelay := []time.Duration{0, 100 * time.Millisecond, 200 * time.Millisecond, max, max, max}
+	for a := 1; a <= 5; a++ {
+		d := wantDelay[a]
+		lo, _ := newBareClient(nil, 1, base, max, func(n int64) int64 { return 0 })
+		hi, _ := newBareClient(nil, 1, base, max, func(n int64) int64 { return n - 1 })
+		if got := lo.backoff(a); got != d/2 {
+			t.Errorf("backoff(%d) with zero jitter = %v, want %v", a, got, d/2)
+		}
+		if got := hi.backoff(a); got != d {
+			t.Errorf("backoff(%d) with max jitter = %v, want %v", a, got, d)
+		}
+	}
+	// A shift past the cap (or into overflow) still lands on RetryMax.
+	c, _ := newBareClient(nil, 1, base, max, func(n int64) int64 { return n - 1 })
+	if got := c.backoff(63); got != max {
+		t.Errorf("backoff(63) = %v, want the %v cap", got, max)
+	}
+}
+
+// TestRetrySleepsAndStops drives a permanently-503 server: the client
+// makes exactly MaxAttempts requests with the deterministic backoff
+// sequence between them, reuses one request id across every attempt,
+// and reports the terminal error.
+func TestRetrySleepsAndStops(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		hits int
+		ids  []string
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		ids = append(ids, r.Header.Get(wire.HeaderRequestID))
+		mu.Unlock()
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, slept := newBareClient(ts, 4, 100*time.Millisecond, 250*time.Millisecond,
+		func(n int64) int64 { return 0 })
+	_, _, err := c.Lookup(0, 1)
+	if err == nil || !strings.Contains(err.Error(), "4 attempts failed") {
+		t.Fatalf("Lookup error = %v, want the 4-attempts-failed report", err)
+	}
+	if hits != 4 {
+		t.Fatalf("server saw %d requests, want MaxAttempts=4", hits)
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 125 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Fatalf("sleep %d = %v, want %v (zero-jitter floor)", i, (*slept)[i], d)
+		}
+	}
+	if ids[0] == "" {
+		t.Fatal("no request id sent")
+	}
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatalf("request ids diverge across retries: %v", ids)
+		}
+	}
+}
+
+// TestNoRetryOnPermanentStatus pins that 4xx answers are reported
+// immediately: one request, zero sleeps.
+func TestNoRetryOnPermanentStatus(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, `{"error":"bad pair"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c, slept := newBareClient(ts, 5, time.Millisecond, time.Second,
+		func(n int64) int64 { return 0 })
+	_, _, err := c.Lookup(0, 1)
+	if err == nil || !strings.Contains(err.Error(), "bad pair") {
+		t.Fatalf("Lookup error = %v, want the server's message", err)
+	}
+	if hits != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 (no retry on 4xx)", hits)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("client slept %v on a permanent error", *slept)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpmw"
 	"repro/internal/wire"
 )
 
@@ -81,6 +82,15 @@ type Options struct {
 	// computed delay. Zeros select DefaultRetryBase/DefaultRetryMax.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Dataset selects a named dataset on a multi-tenant server: requests
+	// go to /v1/{dataset}/* instead of the flat /v1/* routes. Empty
+	// queries the default dataset over the flat routes (compatible with
+	// pre-multi-tenant servers).
+	Dataset string
+	// Token is the bearer token sent as "Authorization: Bearer ..." on
+	// every request (for servers running with a token file or admin
+	// token). Empty sends no Authorization header.
+	Token string
 }
 
 // Client answers distance queries by calling hopdb-serve instances.
@@ -88,11 +98,18 @@ type Client struct {
 	endpoints []string
 	cur       atomic.Int32 // index of the endpoint new requests prefer
 	httpc     *http.Client
+	prefix    string // "/v1" or "/v1/{dataset}"
+	token     string
 	json      bool
 	attempts  int
 	retryBase time.Duration
 	retryMax  time.Duration
 	minSeq    atomic.Int64
+
+	// sleep and rnd are the retry loop's clock and jitter source,
+	// swappable so tests pin backoff behavior without real sleeping.
+	sleep func(time.Duration)
+	rnd   func(n int64) int64 // uniform in [0, n)
 
 	// handshake is the /v1/stats snapshot taken by New: it pins the
 	// vertex count and directedness the Querier contract reports even
@@ -147,13 +164,24 @@ func NewMulti(urls []string, opt Options) (*Client, error) {
 	if max <= 0 {
 		max = DefaultRetryMax
 	}
+	prefix := "/v1"
+	if opt.Dataset != "" {
+		if err := wire.ValidateDatasetName(opt.Dataset); err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		prefix = "/v1/" + opt.Dataset
+	}
 	c := &Client{
 		endpoints: endpoints,
 		httpc:     httpc,
+		prefix:    prefix,
+		token:     opt.Token,
 		json:      opt.JSONBatch,
 		attempts:  attempts,
 		retryBase: base,
 		retryMax:  max,
+		sleep:     time.Sleep,
+		rnd:       rand.Int63n,
 	}
 	c.bufPool.New = func() any { return new([]byte) }
 	st, err := c.ServerStats()
@@ -183,7 +211,7 @@ func (c *Client) backoff(a int) time.Duration {
 		d = c.retryMax
 	}
 	half := int64(d) / 2
-	return time.Duration(half + rand.Int63n(half+1))
+	return time.Duration(half + c.rnd(half+1))
 }
 
 // advance rotates the preferred endpoint away from the one that just
@@ -198,10 +226,13 @@ func (c *Client) advance(from int32) {
 // the caller owns the returned response body. contentType is set when
 // body != nil.
 func (c *Client) do(method, path, contentType string, body []byte) (*http.Response, error) {
+	// One id per logical request, reused across retries, so every attempt
+	// of the same query correlates in every tier's access log.
+	reqID := httpmw.NewRequestID()
 	var lastErr error
 	for a := 0; a < c.attempts; a++ {
 		if a > 0 {
-			time.Sleep(c.backoff(a))
+			c.sleep(c.backoff(a))
 		}
 		cur := c.cur.Load()
 		base := c.endpoints[int(cur)%len(c.endpoints)]
@@ -212,6 +243,10 @@ func (c *Client) do(method, path, contentType string, body []byte) (*http.Respon
 		req, err := http.NewRequest(method, base+path, rd)
 		if err != nil {
 			return nil, err
+		}
+		req.Header.Set(wire.HeaderRequestID, reqID)
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
@@ -240,7 +275,7 @@ func (c *Client) do(method, path, contentType string, body []byte) (*http.Respon
 // whether t is reachable from s, and any transport or server error.
 func (c *Client) Lookup(s, t int32) (uint32, bool, error) {
 	var res wire.DistanceResult
-	if err := c.getJSON(fmt.Sprintf("/v1/distance?s=%d&t=%d", s, t), &res); err != nil {
+	if err := c.getJSON(fmt.Sprintf("%s/distance?s=%d&t=%d", c.prefix, s, t), &res); err != nil {
 		return Infinity, false, err
 	}
 	if !res.Reachable || res.Distance == nil {
@@ -279,7 +314,7 @@ func (c *Client) batchBinary(results []uint32, pairs []QueryPair) ([]uint32, err
 	bufp := c.bufPool.Get().(*[]byte)
 	defer c.bufPool.Put(bufp)
 	*bufp = wire.AppendBatchRequest((*bufp)[:0], pairs)
-	resp, err := c.do(http.MethodPost, "/v1/batch", wire.ContentTypeBinaryBatch, *bufp)
+	resp, err := c.do(http.MethodPost, c.prefix+"/batch", wire.ContentTypeBinaryBatch, *bufp)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +345,7 @@ func (c *Client) batchJSON(results []uint32, pairs []QueryPair) ([]uint32, error
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(http.MethodPost, "/v1/batch", "application/json", body)
+	resp, err := c.do(http.MethodPost, c.prefix+"/batch", "application/json", body)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +397,7 @@ func (c *Client) LookupBatchInto(results []uint32, pairs []QueryPair, workers in
 // hopdb.ErrUnreachable when no path exists, so callers handle local and
 // remote backends with the same errors.Is checks.
 func (c *Client) Path(s, t int32) ([]int32, error) {
-	resp, err := c.do(http.MethodGet, fmt.Sprintf("/v1/path?s=%d&t=%d", s, t), "", nil)
+	resp, err := c.do(http.MethodGet, fmt.Sprintf("%s/path?s=%d&t=%d", c.prefix, s, t), "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +422,7 @@ func (c *Client) Path(s, t int32) ([]int32, error) {
 // serving backend kind, uptime, query counters, and cache effectiveness.
 func (c *Client) ServerStats() (wire.StatsResult, error) {
 	var st wire.StatsResult
-	err := c.getJSON("/v1/stats", &st)
+	err := c.getJSON(c.prefix+"/stats", &st)
 	return st, err
 }
 

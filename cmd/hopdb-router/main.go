@@ -13,13 +13,23 @@
 //	    [-primary http://a:8080] [-addr :8090] [-hedge 2ms] \
 //	    [-chunk 256] [-max-batch 10000] [-health-interval 500ms]
 //
+// Routing is dataset-aware: replicas advertise the datasets they serve
+// in /v1/stats, and /v1/{dataset}/* requests scatter only to replicas
+// advertising that dataset (the flat /v1/* routes serve "default").
+// Authorization and X-Hopdb-Request-Id headers are forwarded, so
+// per-principal auth happens at the replicas and one request id appears
+// in every tier's access log.
+//
 // Endpoints:
 //
-//	GET  /v1/distance?s=1&t=2  balanced + hedged over the fleet
-//	POST /v1/batch             split, fanned out, reassembled in order
+//	GET  /v1/[{ds}/]distance?s=1&t=2  balanced + hedged over the fleet
+//	POST /v1/[{ds}/]batch      split, fanned out, reassembled in order
+//	GET  /v1/[{ds}/]path       relayed whole to one replica
+//	GET  /v1/{ds}/stats        relayed to a replica serving the dataset
 //	GET  /v1/healthz           200 while at least one replica is healthy
 //	GET  /v1/stats             router counters + per-replica states
 //	GET  /v1/metrics           Prometheus text exposition
+//	GET  /v1/admin/accesslog   the router's own access-log ring
 //	ANY  /v1/admin/*           proxied to -primary (501 without one)
 //
 // Responses carry X-Hopdb-Seq / X-Hopdb-Epoch from the answering replica
@@ -57,6 +67,7 @@ func main() {
 		attempts  = flag.Int("attempts", 0, "max tries per request across replicas (0 = one per replica)")
 		healthInt = flag.Duration("health-interval", cluster.DefaultHealthInterval, "replica health probe cadence")
 		upTimeout = flag.Duration("upstream-timeout", cluster.DefaultUpstreamTimeout, "per-attempt upstream budget")
+		accessN   = flag.Int("accesslog", 0, "access-log ring capacity in entries (0 selects 1024)")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
@@ -75,6 +86,7 @@ func main() {
 		MaxAttempts:     *attempts,
 		Primary:         *primary,
 		UpstreamTimeout: *upTimeout,
+		AccessLogSize:   *accessN,
 	})
 	if err != nil {
 		fail(err)

@@ -17,9 +17,18 @@
 //	    -replica-of http://primary:8080 -replica-token secret
 //	                                                    # pull replica: replays
 //	                                                    # the primary's journal
+//	hopdb-serve -dataset wiki=wiki.idx -dataset road=road.didx,disk \
+//	    -token-file tokens.json                         # multi-tenant: named
+//	                                                    # datasets + principals
 //
-// Endpoints (also reachable without the /v1 prefix, as legacy aliases;
-// the admin surface exists only under /v1):
+// One process serves any number of named datasets: -idx/-disk/-remote is
+// the dataset named "default", each -dataset adds another, and more can
+// be attached or detached at runtime through POST/DELETE
+// /v1/admin/datasets/{name} without blocking readers.
+//
+// Endpoints (flat /v1/* routes — also reachable without the prefix, as
+// legacy aliases — serve the "default" dataset; every query route also
+// exists dataset-scoped as /v1/{dataset}/...):
 //
 //	GET  /v1/distance?s=1&t=2  one pair
 //	POST /v1/batch             JSON array of [s,t] pairs, or the compact
@@ -27,9 +36,14 @@
 //	GET  /v1/path?s=1&t=2      shortest path (needs -graph)
 //	GET  /v1/healthz           liveness
 //	GET  /v1/stats             backend kind, index size, uptime, QPS,
-//	                           cache hit rate, update counters
+//	                           cache hit rate, update counters, datasets
+//	GET  /v1/metrics           Prometheus text exposition, per-dataset
 //	POST /v1/admin/edges       online edge inserts/deletes (-updates,
-//	                           gated by -admin-token)
+//	                           gated by -admin-token or a write-scoped
+//	                           principal from -token-file)
+//	POST /v1/admin/datasets/{name}    attach a dataset (admin scope)
+//	DELETE /v1/admin/datasets/{name}  detach it; readers drain first
+//	GET  /v1/admin/accesslog   ring buffer of recent requests
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -50,7 +64,9 @@ import (
 
 	hopdb "repro"
 	"repro/internal/cluster"
+	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -71,13 +87,36 @@ func main() {
 		replicaTok = flag.String("replica-token", "", "primary's admin bearer token (the replication log is gated)")
 		replicaInt = flag.Duration("replica-interval", 500*time.Millisecond, "idle replication poll cadence")
 		replicaSeq = flag.Int64("replica-seq", 0, "journal sequence the -idx snapshot was saved at (the primary's updates.seq at save time); replication resumes from there")
+		replicaDS  = flag.String("replica-dataset", "", "primary-side dataset whose journal is replayed (default: the default dataset)")
 		addr       = flag.String("addr", ":8080", "listen address")
-		cache      = flag.Int("cache", 0, "distance cache budget in entries (0 disables)")
+		cache      = flag.Int("cache", 0, "distance cache budget in entries, per dataset (0 disables)")
 		workers    = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", server.DefaultMaxBatch, "largest accepted batch request, in pairs")
-		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout on query routes (0 disables)")
+		adminTmo   = flag.Duration("admin-timeout", 0, "per-request timeout on admin routes (0 disables; label rebuilds outlive query budgets)")
+		tokenFile  = flag.String("token-file", "", "JSON file of principals (bearer tokens with scopes and per-dataset grants); enables principal auth")
+		rateQPS    = flag.Float64("rate", 0, "default per-principal rate limit in answered pairs per second (0 disables)")
+		rateBurst  = flag.Float64("burst", 0, "rate-limit token-bucket depth (default: the -rate value)")
+		maxInfl    = flag.Int("max-inflight", 0, "batch pairs admitted concurrently across all requests; overflow sheds with 429 (0 disables)")
+		accessN    = flag.Int("accesslog", 0, "access-log ring capacity in entries (0 selects 1024)")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (admin-scope gated when auth is configured)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	)
+	type namedSpec struct {
+		name string
+		spec wire.DatasetSpec
+	}
+	var extra []namedSpec
+	flag.Func("dataset",
+		"serve a named dataset: name=path[,mmap][,disk][,updates][,directed][,weighted][,graph=FILE][,disk-cache=N][,bitparallel=N][,stale=F]; repeatable; an http(s):// path proxies a remote server",
+		func(v string) error {
+			name, spec, err := server.ParseDatasetFlag(v)
+			if err != nil {
+				return err
+			}
+			extra = append(extra, namedSpec{name, spec})
+			return nil
+		})
 	flag.Parse()
 	sources := 0
 	for _, s := range []string{*idxPath, *diskPath, *remoteURL} {
@@ -85,8 +124,8 @@ func main() {
 			sources++
 		}
 	}
-	if sources != 1 {
-		fmt.Fprintln(os.Stderr, "hopdb-serve: exactly one of -idx/-disk/-remote is required")
+	if sources > 1 || (sources == 0 && len(extra) == 0) {
+		fmt.Fprintln(os.Stderr, "hopdb-serve: exactly one of -idx/-disk/-remote (the default dataset), or at least one -dataset, is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -131,36 +170,80 @@ func main() {
 		fail(errors.New("-replica-of needs -updates (replication replays the journal through the maintenance engine)"))
 	}
 
-	start := time.Now()
-	q, err := hopdb.Open(path, opts...)
-	if err != nil {
-		fail(err)
-	}
-	defer q.Close()
-	st := q.Stats()
-	log.Printf("opened %s backend in %v: %d vertices, %d entries (%d bytes)",
-		st.Backend, time.Since(start).Round(time.Millisecond), st.Vertices, st.Entries, st.SizeBytes)
-	if *graphPath != "" {
-		log.Printf("attached graph %s: /v1/path enabled", *graphPath)
-	}
-	if st.BitParallel {
-		log.Printf("bit-parallel acceleration enabled with %d roots", *bitpar)
+	var q hopdb.Querier // the default dataset's backend, when one is given
+	if sources == 1 {
+		start := time.Now()
+		var err error
+		q, err = hopdb.Open(path, opts...)
+		if err != nil {
+			fail(err)
+		}
+		defer q.Close()
+		st := q.Stats()
+		log.Printf("opened %s backend in %v: %d vertices, %d entries (%d bytes)",
+			st.Backend, time.Since(start).Round(time.Millisecond), st.Vertices, st.Entries, st.SizeBytes)
+		if *graphPath != "" {
+			log.Printf("attached graph %s: /v1/path enabled", *graphPath)
+		}
+		if st.BitParallel {
+			log.Printf("bit-parallel acceleration enabled with %d roots", *bitpar)
+		}
 	}
 	if *updates {
-		if *adminToken == "" {
-			log.Printf("online updates enabled, but no -admin-token set: POST /v1/admin/edges will answer 403")
+		if *adminToken == "" && *tokenFile == "" {
+			log.Printf("online updates enabled, but no -admin-token or -token-file set: POST /v1/admin/edges will answer 403")
 		} else {
 			log.Printf("online updates enabled: POST /v1/admin/edges (bearer-token gated)")
 		}
 	}
 
-	srv := server.New(q, server.Config{
-		CacheEntries: *cache,
-		MaxBatch:     *maxBatch,
-		Workers:      *workers,
-		Timeout:      *timeout,
-		AdminToken:   *adminToken,
-		Replica:      *replicaOf != "",
+	var principals []server.Principal
+	if *tokenFile != "" {
+		var err error
+		principals, err = server.LoadTokenFile(*tokenFile)
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("loaded %d principals from %s", len(principals), *tokenFile)
+	}
+
+	// Assemble the dataset registry: the -idx/-disk/-remote backend is
+	// the "default" dataset; each -dataset adds a named one.
+	reg := registry.New()
+	if q != nil {
+		if _, err := reg.Attach(wire.DefaultDataset, q, false); err != nil {
+			fail(err)
+		}
+	}
+	for _, d := range extra {
+		start := time.Now()
+		dq, err := server.OpenSpec(d.spec)
+		if err != nil {
+			fail(fmt.Errorf("dataset %s: %w", d.name, err))
+		}
+		if _, err := reg.Attach(d.name, dq, true); err != nil {
+			dq.Close()
+			fail(err)
+		}
+		st := dq.Stats()
+		log.Printf("dataset %q: opened %s backend in %v: %d vertices, %d entries",
+			d.name, st.Backend, time.Since(start).Round(time.Millisecond), st.Vertices, st.Entries)
+	}
+
+	srv := server.NewRegistry(reg, server.Config{
+		CacheEntries:     *cache,
+		MaxBatch:         *maxBatch,
+		Workers:          *workers,
+		Timeout:          *timeout,
+		AdminTimeout:     *adminTmo,
+		AdminToken:       *adminToken,
+		Principals:       principals,
+		RateQPS:          *rateQPS,
+		RateBurst:        *rateBurst,
+		MaxInflightPairs: *maxInfl,
+		AccessLogSize:    *accessN,
+		EnablePprof:      *pprofOn,
+		Replica:          *replicaOf != "",
 	})
 
 	// Replica mode: replay the primary's mutation journal in the
@@ -171,13 +254,14 @@ func main() {
 	if *replicaOf != "" {
 		rep, ok := q.(hopdb.Replicator)
 		if !ok {
-			fail(errors.New("backend does not journal mutations; replication needs -updates"))
+			fail(errors.New("backend does not journal mutations; replication needs -idx with -updates"))
 		}
 		primary := strings.TrimRight(*replicaOf, "/")
 		go func() {
 			if err := cluster.Pull(pullCtx, rep, cluster.PullConfig{
 				Primary:  primary,
 				Token:    *replicaTok,
+				Dataset:  *replicaDS,
 				Interval: *replicaInt,
 				Logf:     log.Printf,
 			}); err != nil {
@@ -197,8 +281,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	log.Printf("serving on http://%s (cache=%d entries, max-batch=%d, timeout=%v)",
-		ln.Addr(), *cache, *maxBatch, *timeout)
+	log.Printf("serving datasets %v on http://%s (cache=%d entries, max-batch=%d, timeout=%v)",
+		reg.Names(), ln.Addr(), *cache, *maxBatch, *timeout)
 
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()

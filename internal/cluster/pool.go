@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,10 @@ type ReplicaState struct {
 	// Inflight is the number of router requests on this replica right
 	// now — the load signal power-of-two-choices compares.
 	Inflight int64 `json:"inflight"`
+	// Datasets lists the datasets the replica advertised at the last
+	// probe (a replica predating multi-tenancy advertises none and is
+	// treated as serving only "default").
+	Datasets []string `json:"datasets,omitempty"`
 	// LastError is the most recent probe failure, cleared on recovery.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -47,9 +52,22 @@ type endpoint struct {
 	seq      atomic.Int64
 	epoch    atomic.Int64
 	vertices atomic.Int64
+	// datasets is the advertised dataset set from the last probe; nil
+	// (never probed, or a pre-multi-tenant replica) means {"default"}.
+	datasets atomic.Pointer[map[string]bool]
 
 	mu      sync.Mutex
 	lastErr string
+}
+
+// serves reports whether the replica advertised dataset at its last
+// probe.
+func (e *endpoint) serves(dataset string) bool {
+	set := e.datasets.Load()
+	if set == nil {
+		return dataset == wire.DefaultDataset
+	}
+	return (*set)[dataset]
 }
 
 func (e *endpoint) setErr(msg string) {
@@ -62,12 +80,20 @@ func (e *endpoint) state() ReplicaState {
 	e.mu.Lock()
 	lastErr := e.lastErr
 	e.mu.Unlock()
+	var dss []string
+	if set := e.datasets.Load(); set != nil {
+		for ds := range *set {
+			dss = append(dss, ds)
+		}
+		sort.Strings(dss)
+	}
 	return ReplicaState{
 		URL:       e.url,
 		Healthy:   e.healthy.Load(),
 		Seq:       e.seq.Load(),
 		Epoch:     e.epoch.Load(),
 		Inflight:  e.inflight.Load(),
+		Datasets:  dss,
 		LastError: lastErr,
 	}
 }
@@ -146,6 +172,14 @@ func (p *Pool) probe(ep *endpoint) {
 		ep.epoch.Store(st.Updates.Epoch)
 	}
 	ep.vertices.Store(int64(st.Vertices))
+	set := map[string]bool{wire.DefaultDataset: true}
+	if len(st.Datasets) > 0 {
+		set = make(map[string]bool, len(st.Datasets))
+		for _, ds := range st.Datasets {
+			set[ds] = true
+		}
+	}
+	ep.datasets.Store(&set)
 	ep.setErr("")
 	ep.healthy.Store(true)
 }
@@ -176,15 +210,21 @@ func (p *Pool) Stop() {
 	p.done.Wait()
 }
 
-// Pick selects a healthy replica not rejected by exclude (nil accepts
-// all): with two or more candidates it samples two distinct ones
-// uniformly and returns the less loaded (power of two choices), which
-// bounds load imbalance without global coordination. Returns nil when no
-// candidate remains.
+// Pick selects a healthy replica of the default dataset not rejected by
+// exclude; see PickDataset.
 func (p *Pool) Pick(exclude func(url string) bool) *endpoint {
+	return p.PickDataset(wire.DefaultDataset, exclude)
+}
+
+// PickDataset selects a healthy replica advertising dataset and not
+// rejected by exclude (nil accepts all): with two or more candidates it
+// samples two distinct ones uniformly and returns the less loaded
+// (power of two choices), which bounds load imbalance without global
+// coordination. Returns nil when no candidate remains.
+func (p *Pool) PickDataset(dataset string, exclude func(url string) bool) *endpoint {
 	var cands []*endpoint
 	for _, ep := range p.eps {
-		if !ep.healthy.Load() {
+		if !ep.healthy.Load() || !ep.serves(dataset) {
 			continue
 		}
 		if exclude != nil && exclude(ep.url) {
@@ -231,6 +271,30 @@ func (p *Pool) Healthy() int {
 
 // Size returns the configured replica count.
 func (p *Pool) Size() int { return len(p.eps) }
+
+// Datasets returns the union of the datasets advertised by healthy
+// replicas, sorted — what the router can route to right now.
+func (p *Pool) Datasets() []string {
+	union := map[string]bool{}
+	for _, ep := range p.eps {
+		if !ep.healthy.Load() {
+			continue
+		}
+		if set := ep.datasets.Load(); set != nil {
+			for ds := range *set {
+				union[ds] = true
+			}
+		} else {
+			union[wire.DefaultDataset] = true
+		}
+	}
+	out := make([]string, 0, len(union))
+	for ds := range union {
+		out = append(out, ds)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Vertices returns the indexed vertex count reported by any healthy
 // replica (zero when none has answered a probe yet), so the router's

@@ -26,6 +26,10 @@ type PullConfig struct {
 	// Token is the primary's admin bearer token; the replication log
 	// lives on the gated admin surface.
 	Token string
+	// Dataset names the primary-side dataset whose journal is replayed;
+	// empty pulls the flat (default-dataset) log path, compatible with
+	// pre-multi-tenant primaries.
+	Dataset string
 	// Interval is the idle poll cadence (default DefaultPullInterval).
 	// A pull that fills Max ops re-polls immediately, so catch-up speed
 	// is bounded by bandwidth, not cadence.
@@ -89,7 +93,11 @@ func Pull(ctx context.Context, target hopdb.Replicator, cfg PullConfig) error {
 // ops are (or may be) immediately available.
 func pullOnce(ctx context.Context, target hopdb.Replicator, httpc *http.Client, cfg PullConfig, logf func(string, ...any)) (behind bool, err error) {
 	since := target.Seq()
-	url := fmt.Sprintf("%s/v1/admin/replication/log?since=%d&max=%d", cfg.Primary, since, cfg.Max)
+	logPath := "/v1/admin/replication/log"
+	if cfg.Dataset != "" && cfg.Dataset != wire.DefaultDataset {
+		logPath = "/v1/" + cfg.Dataset + "/admin/replication/log"
+	}
+	url := fmt.Sprintf("%s%s?since=%d&max=%d", cfg.Primary, logPath, since, cfg.Max)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return false, err

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpmw"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
@@ -54,6 +56,11 @@ type RouterConfig struct {
 	// UpstreamTimeout bounds each upstream attempt (default
 	// DefaultUpstreamTimeout).
 	UpstreamTimeout time.Duration
+	// AccessLogSize is the ring-buffer capacity of the router's access
+	// log (entries); 0 selects 1024.
+	AccessLogSize int
+	// Logf is the router's log sink (panics); nil selects log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Router is the stateless serving tier in front of a replica pool: it
@@ -67,9 +74,10 @@ type Router struct {
 	httpc *http.Client
 	proxy http.Handler
 
-	handler http.Handler
-	now     func() time.Time
-	start   time.Time
+	handler   http.Handler
+	accessLog *httpmw.RingLog
+	now       func() time.Time
+	start     time.Time
 
 	requests     atomic.Int64 // client requests routed
 	queries      atomic.Int64 // pairs answered
@@ -106,15 +114,78 @@ func NewRouter(pool *Pool, cfg RouterConfig) (*Router, error) {
 		}
 		rt.proxy = httputil.NewSingleHostReverseProxy(u)
 	}
+	rt.accessLog = httpmw.NewRingLog(cfg.AccessLogSize)
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/distance", rt.handleDistance)
-	mux.HandleFunc("/v1/batch", rt.handleBatch)
+	// Query routes are dataset-scoped like a replica's; the flat /v1
+	// spellings alias the "default" dataset through the same handlers.
+	for _, p := range []string{"/v1/{dataset}", "/v1"} {
+		mux.HandleFunc(p+"/distance", rt.handleDistance)
+		mux.HandleFunc(p+"/batch", rt.handleBatch)
+		mux.HandleFunc(p+"/path", rt.handlePath)
+	}
+	mux.HandleFunc("/v1/{dataset}/stats", rt.handleDatasetStats)
 	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("/v1/stats", rt.handleStats)
 	mux.HandleFunc("/v1/metrics", rt.handleMetrics)
-	mux.HandleFunc("/v1/admin/", rt.handleAdmin)
-	rt.handler = mux
+	mux.HandleFunc("/v1/admin/accesslog", rt.handleAccessLog)
+	// The primary's admin surface, spelled out route by route — a
+	// /v1/admin/ catch-all would conflict with the {dataset} wildcards.
+	for _, p := range []string{"/v1/{dataset}", "/v1"} {
+		mux.HandleFunc(p+"/admin/edges", rt.handleAdmin)
+		mux.HandleFunc(p+"/admin/replication/log", rt.handleAdmin)
+	}
+	mux.HandleFunc("/v1/admin/datasets", rt.handleAdmin)
+	mux.HandleFunc("/v1/admin/datasets/{name}", rt.handleAdmin)
+	rt.handler = httpmw.Chain(mux,
+		httpmw.RequestID,
+		httpmw.AccessLog(rt.accessLog, nil),
+		httpmw.Recover(logf),
+	)
 	return rt, nil
+}
+
+// AccessLog returns the router's access-log ring (also served at
+// GET /v1/admin/accesslog).
+func (rt *Router) AccessLog() *httpmw.RingLog { return rt.accessLog }
+
+// dsName resolves the {dataset} path value ("" on the flat aliases
+// means "default") and annotates the access-log entry with it.
+func dsName(r *http.Request) string {
+	name := r.PathValue("dataset")
+	if name == "" {
+		name = wire.DefaultDataset
+	}
+	httpmw.SetDataset(r, name)
+	return name
+}
+
+// upstreamPath builds the replica-side path for a dataset: the default
+// dataset uses the flat spelling (byte-identical on the replica, and
+// compatible with pre-multi-tenant replicas), named datasets the scoped
+// one.
+func upstreamPath(dataset, suffix string) string {
+	if dataset == wire.DefaultDataset {
+		return "/v1" + suffix
+	}
+	return "/v1/" + dataset + suffix
+}
+
+// forwardHeaders collects the client headers the router relays to
+// replicas: the bearer token (replicas run their own auth), the request
+// id (so one id appears in every tier's access log), and the
+// read-your-writes demand.
+func forwardHeaders(r *http.Request) http.Header {
+	fwd := http.Header{}
+	for _, k := range []string{"Authorization", wire.HeaderRequestID, wire.HeaderMinSeq} {
+		if v := r.Header.Get(k); v != "" {
+			fwd.Set(k, v)
+		}
+	}
+	return fwd
 }
 
 // Handler returns the root http.Handler serving all router endpoints.
@@ -138,8 +209,9 @@ func (u upstream) transient() bool {
 }
 
 // fetchOnce performs one upstream attempt against ep, forwarding the
-// read-your-writes demand, and reads the whole response.
-func (rt *Router) fetchOnce(ctx context.Context, ep *endpoint, method, path, contentType string, body []byte, minSeq string, hedged bool) upstream {
+// relayed client headers (auth, request id, read-your-writes demand),
+// and reads the whole response.
+func (rt *Router) fetchOnce(ctx context.Context, ep *endpoint, method, path, contentType string, body []byte, fwd http.Header, hedged bool) upstream {
 	ep.inflight.Add(1)
 	defer ep.inflight.Add(-1)
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.UpstreamTimeout)
@@ -155,8 +227,10 @@ func (rt *Router) fetchOnce(ctx context.Context, ep *endpoint, method, path, con
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	if minSeq != "" {
-		req.Header.Set(wire.HeaderMinSeq, minSeq)
+	for k, vs := range fwd {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
 	}
 	resp, err := rt.httpc.Do(req)
 	if err != nil {
@@ -187,29 +261,30 @@ func (rt *Router) maxAttempts() int {
 	return 1
 }
 
-// forward routes one logical request: pick a replica (power of two
-// choices), hedge a straggler onto a second one, and fail transient
-// outcomes over to untried replicas until the attempt budget runs out.
-// The returned outcome is the first non-transient answer, or the last
-// transient one when every attempt failed (so a 503 from uniformly
-// behind replicas propagates as a 503, keeping min-seq semantics).
-func (rt *Router) forward(ctx context.Context, method, path, contentType string, body []byte, minSeq string, noHedge bool) upstream {
+// forward routes one logical request: pick a replica advertising the
+// dataset (power of two choices), hedge a straggler onto a second one,
+// and fail transient outcomes over to untried replicas until the
+// attempt budget runs out. The returned outcome is the first
+// non-transient answer, or the last transient one when every attempt
+// failed (so a 503 from uniformly behind replicas propagates as a 503,
+// keeping min-seq semantics).
+func (rt *Router) forward(ctx context.Context, dataset, method, path, contentType string, body []byte, fwd http.Header, noHedge bool) upstream {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	budget := rt.maxAttempts()
 	results := make(chan upstream, budget)
 	tried := make(map[string]bool)
 	launch := func(hedged bool) bool {
-		ep := rt.pool.Pick(func(u string) bool { return tried[u] })
+		ep := rt.pool.PickDataset(dataset, func(u string) bool { return tried[u] })
 		if ep == nil {
 			return false
 		}
 		tried[ep.url] = true
-		go func() { results <- rt.fetchOnce(ctx, ep, method, path, contentType, body, minSeq, hedged) }()
+		go func() { results <- rt.fetchOnce(ctx, ep, method, path, contentType, body, fwd, hedged) }()
 		return true
 	}
 	if !launch(false) {
-		return upstream{err: errNoReplicas}
+		return upstream{err: fmt.Errorf("%w (dataset %q)", errNoReplicas, dataset)}
 	}
 	launched, inflight := 1, 1
 	var hedgeTimer <-chan time.Time
@@ -259,7 +334,7 @@ func (rt *Router) writeUpstream(w http.ResponseWriter, res upstream) {
 		msg := "upstream request failed: " + res.err.Error()
 		if errors.Is(res.err, errNoReplicas) {
 			status = http.StatusServiceUnavailable
-			msg = errNoReplicas.Error()
+			msg = res.err.Error()
 		}
 		writeError(w, status, msg)
 		return
@@ -276,22 +351,56 @@ func (rt *Router) writeUpstream(w http.ResponseWriter, res upstream) {
 }
 
 func (rt *Router) handleDistance(w http.ResponseWriter, r *http.Request) {
+	rt.forwardSingle(w, r, "/distance")
+}
+
+// handlePath relays /v1/{ds}/path like a distance query: one replica
+// answers the whole request (path reconstruction is not splittable).
+func (rt *Router) handlePath(w http.ResponseWriter, r *http.Request) {
+	rt.forwardSingle(w, r, "/path")
+}
+
+// forwardSingle relays one unsplittable GET (distance, path) to a
+// replica serving the request's dataset.
+func (rt *Router) forwardSingle(w http.ResponseWriter, r *http.Request, suffix string) {
 	t0 := rt.now()
 	defer func() { rt.lat.Observe(rt.now().Sub(t0)) }()
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	rt.requests.Add(1)
-	path := "/v1/distance"
+	ds := dsName(r)
+	path := upstreamPath(ds, suffix)
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	res := rt.forward(r.Context(), http.MethodGet, path, "", nil,
-		r.Header.Get(wire.HeaderMinSeq), r.Header.Get(wire.HeaderNoHedge) != "")
+	res := rt.forward(r.Context(), ds, http.MethodGet, path, "", nil,
+		forwardHeaders(r), r.Header.Get(wire.HeaderNoHedge) != "")
 	if res.err == nil && res.status == http.StatusOK {
 		rt.queries.Add(1)
 	}
 	rt.writeUpstream(w, res)
+}
+
+// handleDatasetStats relays /v1/{ds}/stats to a replica serving the
+// dataset (the router's own aggregate stats stay at /v1/stats).
+func (rt *Router) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	ds := dsName(r)
+	res := rt.forward(r.Context(), ds, http.MethodGet, upstreamPath(ds, "/stats"), "", nil,
+		forwardHeaders(r), true)
+	rt.writeUpstream(w, res)
+}
+
+// handleAccessLog serves GET /v1/admin/accesslog: the router's own ring
+// of recent requests, oldest first.
+func (rt *Router) handleAccessLog(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	rt.accessLog.ServeDump(w)
 }
 
 // handleBatch decodes the client's batch (JSON or binary), splits it
@@ -308,6 +417,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.requests.Add(1)
+	ds := dsName(r)
 
 	ct := r.Header.Get("Content-Type")
 	if mt, _, found := strings.Cut(ct, ";"); found {
@@ -355,7 +465,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	minSeq := r.Header.Get(wire.HeaderMinSeq)
+	fwd := forwardHeaders(r)
 	noHedge := r.Header.Get(wire.HeaderNoHedge) != ""
 	results := make([]uint32, len(pairs))
 	var (
@@ -373,7 +483,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			req := wire.AppendBatchRequest(nil, pairs[lo:hi])
-			res := rt.forward(r.Context(), http.MethodPost, "/v1/batch", wire.ContentTypeBinaryBatch, req, minSeq, noHedge)
+			res := rt.forward(r.Context(), ds, http.MethodPost, upstreamPath(ds, "/batch"), wire.ContentTypeBinaryBatch, req, fwd, noHedge)
 			if res.err != nil || res.status != http.StatusOK {
 				mu.Lock()
 				if fail == nil {
@@ -501,6 +611,10 @@ type RouterStats struct {
 	HedgeWins      int64          `json:"hedge_wins"`
 	UpstreamErrors int64          `json:"upstream_errors"`
 	Replicas       []ReplicaState `json:"replicas"`
+	// Datasets is the union of the datasets advertised by healthy
+	// replicas — the same field a replica's /v1/stats carries, so pools
+	// of routers chain.
+	Datasets []string `json:"datasets,omitempty"`
 }
 
 // Stats snapshots the router counters and replica states.
@@ -517,6 +631,7 @@ func (rt *Router) Stats() RouterStats {
 		HedgeWins:      rt.hedgeWins.Load(),
 		UpstreamErrors: rt.upstreamErrs.Load(),
 		Replicas:       rt.pool.States(),
+		Datasets:       rt.pool.Datasets(),
 	}
 	if uptime > 0 {
 		st.QPS = float64(st.Queries) / uptime
@@ -549,6 +664,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Metric("hopdb_router_upstream_errors_total", "Transient upstream failures observed.", "counter", float64(st.UpstreamErrors))
 	m.Metric("hopdb_router_replicas", "Configured replicas.", "gauge", float64(len(st.Replicas)))
 	m.Metric("hopdb_router_replicas_healthy", "Replicas currently healthy.", "gauge", float64(rt.pool.Healthy()))
+	m.Metric("hopdb_router_datasets", "Datasets routable right now (union over healthy replicas).", "gauge", float64(len(st.Datasets)))
 	if qs := rt.lat.Quantiles(0.5, 0.95, 0.99); qs != nil {
 		for i, q := range []string{"0.5", "0.95", "0.99"} {
 			m.Metric("hopdb_router_request_duration_seconds",
@@ -585,8 +701,8 @@ func (rt *Router) handleAdmin(w http.ResponseWriter, r *http.Request) {
 // Thin aliases over the shared HTTP plumbing (internal/wire), so the
 // router and the replica server cannot drift on error shape or method
 // handling.
-func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	return wire.AllowMethod(w, r, method)
+func allowMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	return wire.AllowMethod(w, r, methods...)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) { wire.WriteJSON(w, status, v) }

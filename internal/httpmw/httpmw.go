@@ -1,0 +1,315 @@
+// Package httpmw is the composable HTTP middleware stack shared by the
+// replica server (internal/server) and the fan-out router
+// (internal/cluster): request-id generation and propagation, structured
+// access logs in a fixed-size ring buffer, panic recovery, and request
+// body limits. It lives apart from both so the router does not import
+// the server (or vice versa) just to log requests the same way.
+package httpmw
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Middleware wraps an http.Handler.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mws to h with mws[0] outermost:
+// Chain(h, a, b) serves a(b(h)).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// Entry is one completed request in the access log.
+type Entry struct {
+	Time       time.Time `json:"time"`
+	ID         string    `json:"id,omitempty"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Query      string    `json:"query,omitempty"`
+	Status     int       `json:"status"`
+	Bytes      int64     `json:"bytes"`
+	DurationMS float64   `json:"duration_ms"`
+	// Dataset and Principal are annotated by the handler once resolved
+	// (SetDataset / SetPrincipal); empty when the route has neither.
+	Dataset   string `json:"dataset,omitempty"`
+	Principal string `json:"principal,omitempty"`
+	Remote    string `json:"remote,omitempty"`
+}
+
+// RingLog is a fixed-size ring of the most recent access-log entries,
+// safe for concurrent use. The zero value is unusable; use NewRingLog.
+type RingLog struct {
+	mu    sync.Mutex
+	buf   []Entry
+	next  int
+	total int64
+}
+
+// NewRingLog returns a ring holding the last n entries (n < 1 selects a
+// default of 1024).
+func NewRingLog(n int) *RingLog {
+	if n < 1 {
+		n = 1024
+	}
+	return &RingLog{buf: make([]Entry, 0, n)}
+}
+
+func (l *RingLog) add(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *RingLog) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total returns the number of requests logged since start (including
+// entries the ring has since evicted).
+func (l *RingLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dump is the JSON shape of the access-log admin route.
+type Dump struct {
+	Total   int64   `json:"total"`
+	Entries []Entry `json:"entries"`
+}
+
+// ServeDump writes the ring as JSON (the GET /v1/admin/accesslog body).
+func (l *RingLog) ServeDump(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Dump{Total: l.Total(), Entries: l.Entries()})
+}
+
+// ctxKey is the context key space for this package.
+type ctxKey int
+
+const (
+	idKey ctxKey = iota
+	annotKey
+)
+
+// annot carries the handler-set access-log annotations. It is mutex-
+// guarded because http.TimeoutHandler can abandon a handler goroutine
+// that annotates after the access-log middleware reads.
+type annot struct {
+	mu        sync.Mutex
+	dataset   string
+	principal string
+}
+
+// RequestIDFromContext returns the request id assigned by the RequestID
+// middleware, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(idKey).(string)
+	return id
+}
+
+// SetDataset annotates the request's access-log entry with the resolved
+// dataset name. A no-op without the AccessLog middleware.
+func SetDataset(r *http.Request, name string) {
+	if a, ok := r.Context().Value(annotKey).(*annot); ok {
+		a.mu.Lock()
+		a.dataset = name
+		a.mu.Unlock()
+	}
+}
+
+// SetPrincipal annotates the request's access-log entry with the
+// authenticated principal name. A no-op without the AccessLog middleware.
+func SetPrincipal(r *http.Request, name string) {
+	if a, ok := r.Context().Value(annotKey).(*annot); ok {
+		a.mu.Lock()
+		a.principal = name
+		a.mu.Unlock()
+	}
+}
+
+// validRequestID reports whether an incoming id is safe to propagate
+// into logs and headers: 1-64 characters of [a-zA-Z0-9._-].
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewRequestID returns a fresh random request id (16 hex characters).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID propagates the X-Hopdb-Request-Id header: an incoming valid
+// id is kept (so one id follows a request across tiers), anything else
+// is replaced with a fresh one. The id is echoed on the response and
+// stored in the request context (RequestIDFromContext).
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(wire.HeaderRequestID)
+		if !validRequestID(id) {
+			id = NewRequestID()
+			r.Header.Set(wire.HeaderRequestID, id) // tiers behind us see it too
+		}
+		w.Header().Set(wire.HeaderRequestID, id)
+		r = r.WithContext(context.WithValue(r.Context(), idKey, id))
+		next.ServeHTTP(w, r)
+	})
+}
+
+// AccessLog records every completed request into l. Place it inside
+// RequestID (so entries carry the id) and outside Recover (so panics
+// still log with status 500). now is the clock (nil means time.Now).
+func AccessLog(l *RingLog, now func() time.Time) Middleware {
+	if now == nil {
+		now = time.Now
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := now()
+			a := &annot{}
+			r = r.WithContext(context.WithValue(r.Context(), annotKey, a))
+			sw := &statusWriter{ResponseWriter: w}
+			defer func() {
+				a.mu.Lock()
+				dataset, principal := a.dataset, a.principal
+				a.mu.Unlock()
+				status := int(sw.status.Load())
+				if status == 0 {
+					status = http.StatusOK
+				}
+				l.add(Entry{
+					Time:       start,
+					ID:         RequestIDFromContext(r.Context()),
+					Method:     r.Method,
+					Path:       r.URL.Path,
+					Query:      r.URL.RawQuery,
+					Status:     status,
+					Bytes:      sw.bytes.Load(),
+					DurationMS: float64(now().Sub(start)) / float64(time.Millisecond),
+					Dataset:    dataset,
+					Principal:  principal,
+					Remote:     r.RemoteAddr,
+				})
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// Recover converts a handler panic into a 500 with the API's JSON error
+// shape (when nothing has been written yet), logs the stack through
+// logf, and keeps the server alive. http.ErrAbortHandler passes through
+// untouched — it is the stdlib's own abort protocol, not a bug.
+func Recover(logf func(format string, args ...any)) Middleware {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw, ok := w.(*statusWriter)
+			if !ok {
+				sw = &statusWriter{ResponseWriter: w}
+			}
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				logf("panic serving %s %s (request %s): %v\n%s",
+					r.Method, r.URL.Path, RequestIDFromContext(r.Context()), v, debug.Stack())
+				if sw.status.Load() == 0 {
+					wire.WriteError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// MaxBody rejects request bodies beyond n bytes: handlers reading past
+// the limit get an error that http.MaxBytesReader pairs with a 413.
+func MaxBody(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil && n > 0 {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusWriter captures the response status and body size. Counters are
+// atomic for the same reason annot is mutex-guarded: http.TimeoutHandler
+// abandons handler goroutines that may still be writing.
+type statusWriter struct {
+	http.ResponseWriter
+	status atomic.Int32
+	bytes  atomic.Int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status.CompareAndSwap(0, int32(code))
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.status.CompareAndSwap(0, http.StatusOK)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes.Add(int64(n))
+	return n, err
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,180 @@
+package httpmw
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestRingLogWraparound(t *testing.T) {
+	l := NewRingLog(3)
+	for i := 0; i < 5; i++ {
+		l.add(Entry{Path: fmt.Sprintf("/p%d", i)})
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total() = %d, want 5", l.Total())
+	}
+	got := l.Entries()
+	if len(got) != 3 || got[0].Path != "/p2" || got[2].Path != "/p4" {
+		t.Fatalf("Entries() = %+v, want the last three oldest-first", got)
+	}
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	var seen string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFromContext(r.Context())
+		if hdr := r.Header.Get(wire.HeaderRequestID); hdr != seen {
+			t.Errorf("downstream header %q != context id %q", hdr, seen)
+		}
+	}), RequestID)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if seen == "" || len(seen) != 16 {
+		t.Fatalf("generated id = %q, want 16 hex chars", seen)
+	}
+	if got := rec.Header().Get(wire.HeaderRequestID); got != seen {
+		t.Fatalf("response id %q != assigned id %q", got, seen)
+	}
+}
+
+func TestRequestIDPropagatesValidAndReplacesInvalid(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), RequestID)
+	cases := []struct {
+		in   string
+		kept bool
+	}{
+		{"client-id.42", true},
+		{strings.Repeat("a", 64), true},
+		{strings.Repeat("a", 65), false},
+		{"bad id with spaces", false},
+		{"emojié", false},
+		{"", false},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodGet, "/x", nil)
+		if tc.in != "" {
+			req.Header.Set(wire.HeaderRequestID, tc.in)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		got := rec.Header().Get(wire.HeaderRequestID)
+		if tc.kept && got != tc.in {
+			t.Errorf("valid id %q replaced with %q", tc.in, got)
+		}
+		if !tc.kept && (got == tc.in || got == "") {
+			t.Errorf("invalid id %q: response id = %q, want a fresh one", tc.in, got)
+		}
+	}
+}
+
+func TestAccessLogRecordsAnnotations(t *testing.T) {
+	l := NewRingLog(8)
+	clock := time.Unix(100, 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		SetDataset(r, "wiki")
+		SetPrincipal(r, "alice")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("hello"))
+	}), RequestID, AccessLog(l, func() time.Time { return clock }))
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/wiki/distance?s=1&t=2", nil)
+	req.Header.Set(wire.HeaderRequestID, "trace-1")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	entries := l.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.ID != "trace-1" || e.Dataset != "wiki" || e.Principal != "alice" {
+		t.Fatalf("entry = %+v, want id/dataset/principal recorded", e)
+	}
+	if e.Status != http.StatusTeapot || e.Bytes != 5 || e.Method != http.MethodGet {
+		t.Fatalf("entry = %+v, want status 418, 5 bytes", e)
+	}
+	if e.Path != "/v1/wiki/distance" || e.Query != "s=1&t=2" {
+		t.Fatalf("entry path/query = %q/%q", e.Path, e.Query)
+	}
+}
+
+func TestRecoverConvertsPanicTo500(t *testing.T) {
+	var logged string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), Recover(func(format string, args ...any) {
+		logged = fmt.Sprintf(format, args...)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"error"`) {
+		t.Fatalf("body = %q, want the JSON error shape", rec.Body.String())
+	}
+	if !strings.Contains(logged, "kaboom") || !strings.Contains(logged, "/boom") {
+		t.Fatalf("log = %q, want the panic value and path", logged)
+	}
+	if !strings.Contains(logged, "goroutine") {
+		t.Fatalf("log = %q, want a stack trace", logged)
+	}
+}
+
+func TestRecoverLeavesCommittedResponseAlone(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("after commit")
+	}), Recover(nil))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want the already-committed 202", rec.Code)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), mk("outer"), mk("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if fmt.Sprint(order) != "[outer inner handler]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestMaxBody(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, 64)
+		if _, err := r.Body.Read(buf); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				w.WriteHeader(http.StatusRequestEntityTooLarge)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+	}), MaxBody(4))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/", strings.NewReader("longer than four")))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 path taken", rec.Code)
+	}
+}

@@ -115,6 +115,19 @@ func (m *Writer) Metric(name, help, typ string, value float64, labels ...string)
 // Err reports the first write error, if any.
 func (m *Writer) Err() error { return m.err }
 
+// Summary emits a latency recorder as a Prometheus summary: the p50/p95/
+// p99 quantile series (when the window has samples) plus the _count
+// series, all carrying the given labels.
+func (m *Writer) Summary(name, help string, lat *Latency, labels ...string) {
+	if qs := lat.Quantiles(0.5, 0.95, 0.99); qs != nil {
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			m.Metric(name, help, "summary", qs[i].Seconds(),
+				append(append([]string(nil), labels...), "quantile="+q)...)
+		}
+	}
+	m.Metric(name+"_count", help+" (window count)", "counter", float64(lat.Count()), labels...)
+}
+
 // formatValue renders a sample value the way Prometheus expects:
 // integers without an exponent, everything else in shortest form.
 func formatValue(v float64) string {

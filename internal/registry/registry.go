@@ -1,0 +1,219 @@
+// Package registry owns the set of named datasets a multi-tenant hopdb
+// server process serves. Each dataset wraps one hopdb.Querier (plus
+// whatever optional contracts — Pather, Updatable, Replicator — the
+// backend satisfies, discovered once at attach time), and the registry
+// supports hot attach/detach: the name->dataset map is copied on every
+// mutation and published through an atomic pointer, so the read path
+// (every query) is one atomic load and never blocks behind an attach.
+//
+// Detach is graceful: a dataset is refcounted, requests hold a reference
+// while they run, and the backend is closed only when the last in-flight
+// reference drops — readers never observe a closed Querier.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	hopdb "repro"
+	"repro/internal/wire"
+)
+
+// Dataset is one named query backend. The optional-contract fields are
+// resolved once at attach time; nil means the backend does not support
+// that extension. Fields are read-only after Attach.
+type Dataset struct {
+	name string
+	q    hopdb.Querier
+
+	// Optional contracts of q, resolved at attach.
+	pather  hopdb.Pather
+	lookup  hopdb.Lookuper
+	blookup hopdb.LookupBatcher
+	updater hopdb.Updatable
+	rep     hopdb.Replicator
+
+	// refs counts the membership reference (1 while attached) plus one
+	// per in-flight Acquire. Detach drops the membership reference; the
+	// holder of the last reference closes the backend.
+	refs    atomic.Int64
+	ownedBy *Registry // closes q on final release iff non-nil
+}
+
+// Name returns the dataset's registry name.
+func (d *Dataset) Name() string { return d.name }
+
+// Querier returns the wrapped backend.
+func (d *Dataset) Querier() hopdb.Querier { return d.q }
+
+// Pather returns the backend's path-reconstruction extension, or nil.
+func (d *Dataset) Pather() hopdb.Pather { return d.pather }
+
+// Lookuper returns the backend's error-reporting query extension, or nil.
+func (d *Dataset) Lookuper() hopdb.Lookuper { return d.lookup }
+
+// LookupBatcher returns the backend's error-reporting batch extension,
+// or nil.
+func (d *Dataset) LookupBatcher() hopdb.LookupBatcher { return d.blookup }
+
+// Updatable returns the backend's online-update extension, or nil.
+func (d *Dataset) Updatable() hopdb.Updatable { return d.updater }
+
+// Replicator returns the backend's replication extension, or nil.
+func (d *Dataset) Replicator() hopdb.Replicator { return d.rep }
+
+// acquire takes an in-flight reference; it fails once the dataset has
+// been detached and drained (refs hit zero), so a winner never resurrects
+// a closed backend.
+func (d *Dataset) acquire() bool {
+	for {
+		n := d.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if d.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference taken by Registry.Acquire. The last release
+// after a detach closes the backend.
+func (d *Dataset) Release() {
+	if d.refs.Add(-1) == 0 && d.ownedBy != nil {
+		d.q.Close()
+	}
+}
+
+// Registry is the named-dataset set. The zero value is not ready; use
+// New. Reads (Acquire, Names, Snapshot) are lock-free; mutations
+// (Attach, Detach) serialize on a mutex and publish a fresh map.
+type Registry struct {
+	mu sync.Mutex                          // serializes Attach/Detach
+	m  atomic.Pointer[map[string]*Dataset] // copy-on-write; never mutated in place
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	r := &Registry{}
+	m := map[string]*Dataset{}
+	r.m.Store(&m)
+	return r
+}
+
+// Attach registers q under name and returns the new dataset. When own is
+// true the registry closes q after the dataset is detached and drained;
+// pass false for backends whose lifetime the caller manages. Attaching a
+// name that is already registered is an error (detach it first: attach
+// is not an in-place swap, so readers of the old dataset drain cleanly).
+func (r *Registry) Attach(name string, q hopdb.Querier, own bool) (*Dataset, error) {
+	if err := wire.ValidateDatasetName(name); err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("dataset %q: nil Querier", name)
+	}
+	d := &Dataset{name: name, q: q}
+	if own {
+		d.ownedBy = r
+	}
+	d.pather, _ = q.(hopdb.Pather)
+	d.lookup, _ = q.(hopdb.Lookuper)
+	d.blookup, _ = q.(hopdb.LookupBatcher)
+	d.updater, _ = q.(hopdb.Updatable)
+	d.rep, _ = q.(hopdb.Replicator)
+	d.refs.Store(1) // the membership reference
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.m.Load()
+	if _, dup := old[name]; dup {
+		return nil, fmt.Errorf("dataset %q is already attached", name)
+	}
+	next := make(map[string]*Dataset, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = d
+	r.m.Store(&next)
+	return d, nil
+}
+
+// Detach unregisters name. New requests stop resolving it immediately;
+// the backend is closed (when owned) once in-flight requests drain.
+func (r *Registry) Detach(name string) error {
+	r.mu.Lock()
+	old := *r.m.Load()
+	d, ok := old[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("dataset %q is not attached", name)
+	}
+	next := make(map[string]*Dataset, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.m.Store(&next)
+	r.mu.Unlock()
+
+	d.Release() // drop the membership reference
+	return nil
+}
+
+// Acquire resolves name and takes an in-flight reference on the dataset;
+// the caller must Release it when the request completes. It returns
+// (nil, false) for unknown names.
+func (r *Registry) Acquire(name string) (*Dataset, bool) {
+	d, ok := (*r.m.Load())[name]
+	if !ok || !d.acquire() {
+		return nil, false
+	}
+	return d, true
+}
+
+// Has reports whether name is currently attached.
+func (r *Registry) Has(name string) bool {
+	_, ok := (*r.m.Load())[name]
+	return ok
+}
+
+// Names returns the attached dataset names, sorted.
+func (r *Registry) Names() []string {
+	m := *r.m.Load()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of attached datasets.
+func (r *Registry) Len() int { return len(*r.m.Load()) }
+
+// Snapshot acquires every attached dataset (sorted by name) and returns
+// them; the caller must Release each. Metrics and stats iterate through
+// it so a concurrent detach cannot close a backend mid-read.
+func (r *Registry) Snapshot() []*Dataset {
+	m := *r.m.Load()
+	out := make([]*Dataset, 0, len(m))
+	for _, d := range m {
+		if d.acquire() {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Close detaches everything, for process shutdown.
+func (r *Registry) Close() error {
+	for _, name := range r.Names() {
+		r.Detach(name)
+	}
+	return nil
+}

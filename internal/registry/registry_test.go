@@ -1,0 +1,161 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fakeQuerier is a minimal hopdb.Querier that records Close calls.
+type fakeQuerier struct {
+	id     int32
+	closed atomic.Bool
+}
+
+func (f *fakeQuerier) Distance(s, t int32) (uint32, bool) { return uint32(f.id), true }
+func (f *fakeQuerier) DistanceBatchInto(d []uint32, p []wire.QueryPair, w int) []uint32 {
+	for i := range p {
+		d[i] = uint32(f.id)
+	}
+	return d[:len(p)]
+}
+func (f *fakeQuerier) N() int32 { return f.id }
+func (f *fakeQuerier) Stats() wire.QuerierStats {
+	return wire.QuerierStats{Backend: "fake", Vertices: f.id}
+}
+func (f *fakeQuerier) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+func TestAttachAcquireDetach(t *testing.T) {
+	r := New()
+	q := &fakeQuerier{id: 7}
+	if _, err := r.Attach("wiki", q, true); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("wiki") || r.Len() != 1 {
+		t.Fatalf("Has/Len after attach: %v/%d", r.Has("wiki"), r.Len())
+	}
+	if _, err := r.Attach("wiki", &fakeQuerier{}, false); err == nil {
+		t.Fatal("duplicate Attach succeeded")
+	}
+	if _, err := r.Attach("v1", &fakeQuerier{}, false); err == nil {
+		t.Fatal("reserved name accepted")
+	}
+	if _, err := r.Attach("ok", nil, false); err == nil {
+		t.Fatal("nil querier accepted")
+	}
+
+	d, ok := r.Acquire("wiki")
+	if !ok {
+		t.Fatal("Acquire failed")
+	}
+	if d.Name() != "wiki" || d.Querier() != q {
+		t.Fatalf("dataset identity wrong: %q", d.Name())
+	}
+	// Detach while a reader holds a reference: the backend must not
+	// close until that reference is released.
+	if err := r.Detach("wiki"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("wiki") {
+		t.Fatal("Has after Detach")
+	}
+	if q.closed.Load() {
+		t.Fatal("backend closed while a reader still holds it")
+	}
+	d.Release()
+	if !q.closed.Load() {
+		t.Fatal("owned backend not closed after the last release")
+	}
+	if _, ok := r.Acquire("wiki"); ok {
+		t.Fatal("Acquire succeeded after Detach")
+	}
+	if err := r.Detach("wiki"); err == nil {
+		t.Fatal("double Detach succeeded")
+	}
+}
+
+func TestDetachUnownedLeavesBackendOpen(t *testing.T) {
+	r := New()
+	q := &fakeQuerier{id: 1}
+	if _, err := r.Attach("d", q, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Detach("d"); err != nil {
+		t.Fatal(err)
+	}
+	if q.closed.Load() {
+		t.Fatal("unowned backend closed on detach")
+	}
+}
+
+func TestNamesAndSnapshot(t *testing.T) {
+	r := New()
+	for _, n := range []string{"c", "a", "b"} {
+		if _, err := r.Attach(n, &fakeQuerier{}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := r.Names()
+	if fmt.Sprint(names) != "[a b c]" {
+		t.Fatalf("Names() = %v, want sorted", names)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Name() != "a" || snap[2].Name() != "c" {
+		t.Fatalf("Snapshot() = %v", snap)
+	}
+	for _, d := range snap {
+		d.Release()
+	}
+}
+
+// TestConcurrentAcquireDetach hammers acquire/release against
+// attach/detach cycles; run under -race this pins the lock-free read
+// path and the drain-then-close ownership rule.
+func TestConcurrentAcquireDetach(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d, ok := r.Acquire("hot"); ok {
+					if d.Querier() == nil {
+						t.Error("acquired dataset with nil querier")
+					}
+					d.Querier().Distance(1, 2) // must not race with Close
+					d.Release()
+				}
+			}
+		}()
+	}
+	queriers := make([]*fakeQuerier, 50)
+	for i := range queriers {
+		queriers[i] = &fakeQuerier{id: int32(i)}
+		if _, err := r.Attach("hot", queriers[i], true); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Detach("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i, q := range queriers {
+		if !q.closed.Load() {
+			t.Fatalf("querier %d never closed after detach and drain", i)
+		}
+	}
+}

@@ -1,57 +1,83 @@
-// Package server implements the hopdb query service: an HTTP front end
-// that answers point-to-point distance queries from any hopdb.Querier —
-// a heap or memory-mapped index, the block-addressable disk format, or
-// even another server through the remote client — behind one versioned
-// API (see cmd/hopdb-serve).
+// Package server implements the hopdb query service: a multi-tenant
+// HTTP front end that answers point-to-point distance queries from any
+// number of named datasets, each backed by any hopdb.Querier — a heap
+// or memory-mapped index, the block-addressable disk format, or even
+// another server through the remote client — behind one versioned API
+// (see cmd/hopdb-serve).
 //
-// The hot path adds only per-request state, drawn from a sync.Pool, plus
-// an optional sharded LRU cache of answered pairs for skewed workloads;
-// every Querier backend is safe for concurrent queries by contract.
+// The hot path adds only per-request state, drawn from a sync.Pool,
+// plus an optional per-dataset sharded LRU cache of answered pairs for
+// skewed workloads; every Querier backend is safe for concurrent
+// queries by contract. Datasets live in a registry (internal/registry)
+// supporting hot attach/detach: resolution is one atomic load, and a
+// detached dataset's backend closes only after in-flight requests
+// drain.
 //
-// Endpoints (all under /v1; the unversioned paths from the first release
-// remain as aliases) and their JSON shapes:
+// Endpoints. Query routes are dataset-scoped under /v1/{dataset}/;
+// the flat /v1/* spellings (and the unversioned paths from the first
+// release) remain as aliases for the dataset named "default":
 //
-//	GET  /v1/distance?s=1&t=2 -> {"s":1,"t":2,"distance":3,"reachable":true}
+//	GET  /v1/{ds}/distance?s=1&t=2 -> {"s":1,"t":2,"distance":3,"reachable":true}
 //	                             {"s":1,"t":9,"reachable":false}         (unreachable: distance omitted)
-//	POST /v1/batch  [[1,2],[3,4]] -> {"results":[{...},{...}]}           (same shape per pair)
-//	POST /v1/batch  (Content-Type: application/x-hopdb-batch)            (compact binary, answered in kind)
-//	GET  /v1/path?s=1&t=2 -> {"s":1,"t":2,"distance":3,"path":[1,7,4,2]} (needs a Pather backend)
+//	POST /v1/{ds}/batch  [[1,2],[3,4]] -> {"results":[{...},{...}]}      (same shape per pair)
+//	POST /v1/{ds}/batch  (Content-Type: application/x-hopdb-batch)       (compact binary, answered in kind)
+//	GET  /v1/{ds}/path?s=1&t=2 -> {"s":1,"t":2,"distance":3,"path":[1,7,4,2]} (needs a Pather backend)
+//	GET  /v1/{ds}/stats -> backend kind, index size, uptime, query counters,
+//	                  cache hit rate, update counters, attached datasets
 //	GET  /v1/healthz -> {"status":"ok"}
-//	GET  /v1/stats -> backend kind, index size, uptime, query counters,
-//	                  cache hit rate (cache section omitted when disabled),
-//	                  update counters (updates section, updatable backends)
-//	GET  /v1/metrics -> Prometheus text exposition: QPS, latency
-//	                  quantiles, cache hit rate, epoch/sequence
-//	POST /v1/admin/edges [{"op":"insert","u":1,"v":2,"w":3},...]
-//	                  -> {"applied":N,"seq":S,"stats":{...}}  (bearer-token
-//	                  gated, /v1 only; needs an updatable backend)
-//	GET  /v1/admin/replication/log?since=N[&max=M]
-//	                  -> {"seq":S,"epoch":E,"ops":[...]}  (bearer-token
-//	                  gated; needs a journaling backend — replicas pull
-//	                  this to converge on the primary's label epochs)
+//	GET  /v1/metrics -> Prometheus text exposition: global and
+//	                  per-dataset QPS, latency quantiles, cache hit rate
+//	POST /v1/{ds}/admin/edges [{"op":"insert","u":1,"v":2,"w":3},...]
+//	                  -> {"applied":N,"seq":S,"stats":{...}}  (write scope;
+//	                  needs an updatable backend)
+//	GET  /v1/{ds}/admin/replication/log?since=N[&max=M]
+//	                  -> {"seq":S,"epoch":E,"ops":[...]}  (write scope;
+//	                  replicas pull this to converge on the primary)
+//	POST /v1/admin/datasets/{name}  {"path":"x.idx",...} -> attach (admin scope)
+//	DELETE /v1/admin/datasets/{name} -> detach, drain, close (admin scope)
+//	GET  /v1/admin/datasets -> stats of every attached dataset
+//	GET  /v1/admin/accesslog -> ring buffer of recent requests
+//	GET  /debug/pprof/* -> profiling (Config.EnablePprof only)
 //
-// Replication-aware serving: when the backend journals its mutations
-// (hopdb.Replicator), every query response carries X-Hopdb-Seq and
-// X-Hopdb-Epoch, and a request may demand read-your-writes freshness
+// Every response carries X-Hopdb-Request-Id — the request's id if it
+// sent a valid one (so one id follows a request through router and
+// replica access logs), a fresh one otherwise. The middleware chain
+// wrapping the mux is: request-id propagation, access logging into a
+// fixed ring, panic recovery (a handler panic answers 500 and logs the
+// stack; the server lives on).
+//
+// Auth is principal-based (see Principal): bearer tokens map to scopes
+// (read, write, admin) and per-dataset grants, with a token-bucket rate
+// limiter per principal and batch admission control shedding overload
+// with 429 + Retry-After. With no principals configured the query
+// surface is open and Config.AdminToken alone gates the admin surface,
+// exactly as before multi-tenancy.
+//
+// Replication-aware serving: when a dataset's backend journals its
+// mutations (hopdb.Replicator), every query response carries X-Hopdb-Seq
+// and X-Hopdb-Epoch, and a request may demand read-your-writes freshness
 // with X-Hopdb-Min-Seq — a server still behind that sequence answers 503
 // so a router or retrying client moves on to a caught-up replica.
 //
 // Errors are always {"error":"..."} with a matching HTTP status: 400 for
-// malformed input, 401/403 for admin requests with a bad/absent token,
-// 404 for an unreachable /v1/path pair, 405 for a wrong method, 413 for
-// an oversized batch, 501 for /v1/path on a backend without path
-// reconstruction (or admin updates on a read-only one), and 502 when a
-// fallible backend (disk, remote) fails to answer — never a fabricated
-// "unreachable", and never a cached one.
+// malformed input, 401/403 for requests with a bad/absent token or an
+// insufficient scope/grant, 404 for an unknown dataset or an unreachable
+// /v1/path pair, 405 (with Allow) for a wrong method, 409 for attaching
+// a duplicate dataset, 413 for an oversized batch, 429 for a shed
+// request, 501 for /v1/path on a backend without path reconstruction
+// (or admin updates on a read-only one), and 502 when a fallible backend
+// (disk, remote) fails to answer — never a fabricated "unreachable", and
+// never a cached one.
 package server
 
 import (
-	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -60,7 +86,9 @@ import (
 	"time"
 
 	hopdb "repro"
+	"repro/internal/httpmw"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 	"repro/internal/wire"
 )
 
@@ -69,8 +97,8 @@ const DefaultMaxBatch = 10000
 
 // Config tunes a Server.
 type Config struct {
-	// CacheEntries is the distance cache budget in entries (pairs);
-	// 0 disables the cache.
+	// CacheEntries is the distance cache budget in entries (pairs), per
+	// dataset; 0 disables the cache.
 	CacheEntries int
 	// MaxBatch is the largest accepted /v1/batch request, in pairs
 	// (default DefaultMaxBatch). Larger batches get HTTP 413.
@@ -78,42 +106,74 @@ type Config struct {
 	// Workers is the fan-out of a /v1/batch request across goroutines
 	// (default GOMAXPROCS).
 	Workers int
-	// Timeout bounds request handling end-to-end; 0 disables it.
+	// Timeout bounds query-route handling end-to-end; 0 disables it.
 	Timeout time.Duration
-	// AdminToken is the bearer token gating the mutating admin API
-	// (POST /v1/admin/edges) and the replication log. Empty disables the
-	// admin surface entirely — requests answer 403 regardless of the
-	// backend's capabilities.
+	// AdminTimeout bounds admin-route handling; 0 disables it. Admin
+	// routes have their own budget because a label rebuild legitimately
+	// outlives any sane query timeout.
+	AdminTimeout time.Duration
+	// AdminToken is the legacy single bearer token: it grants every
+	// scope on every dataset. Empty plus no Principals disables the
+	// write/admin surface entirely (403 regardless of backend).
 	AdminToken string
-	// Replica marks this server as a pull replica: POST /v1/admin/edges
+	// Principals enables principal-based auth (see LoadTokenFile). When
+	// non-empty, every query route requires a token holding the read
+	// scope and a grant for the dataset.
+	Principals []Principal
+	// RateQPS/RateBurst are the default per-principal token-bucket rate
+	// limit (tokens per second / bucket depth; one token per answered
+	// pair). 0 disables. With no principals configured a positive
+	// RateQPS applies to all unauthenticated traffic as one bucket.
+	RateQPS   float64
+	RateBurst float64
+	// MaxInflightPairs bounds the total batch pairs admitted across all
+	// concurrent requests; the overflow is shed with 429 + Retry-After.
+	// 0 disables admission control.
+	MaxInflightPairs int
+	// AccessLogSize is the ring-buffer capacity of the structured access
+	// log (entries); 0 selects 1024.
+	AccessLogSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (gated by
+	// the admin scope when auth is configured).
+	EnablePprof bool
+	// Opener opens the backend described by a POST /v1/admin/datasets
+	// spec; nil selects OpenSpec (hopdb.Open). Tests inject fakes here.
+	Opener func(wire.DatasetSpec) (hopdb.Querier, error)
+	// Logf is the server's log sink (panics, dataset lifecycle); nil
+	// selects log.Printf.
+	Logf func(format string, args ...any)
+	// Replica marks this server as a pull replica: POST admin/edges
 	// answers 403 (direct writes would fork the op sequence away from
 	// the primary), while the replication log stays served so replicas
 	// can be chained.
 	Replica bool
 }
 
-// Server answers distance queries over HTTP from one shared Querier.
+// Server answers distance queries over HTTP from a registry of named
+// datasets.
 type Server struct {
-	q       hopdb.Querier
-	lookup  hopdb.Lookuper      // non-nil when q reports per-query errors
-	blookup hopdb.LookupBatcher // non-nil when q reports batch errors
-	updater hopdb.Updatable     // non-nil when q accepts online edge updates
-	rep     hopdb.Replicator    // non-nil when q journals mutations for replication
-	backend hopdb.QuerierStats  // snapshot at startup (backend kind, directedness)
-	cfg     Config
-	cache   *distCache       // nil when disabled
-	now     func() time.Time // injectable clock, for deterministic stats tests
-	start   time.Time
-	queries atomic.Int64    // individual pair lookups answered
+	reg    *registry.Registry
+	states sync.Map // *registry.Dataset -> *dsState
+	cfg    Config
+	now    func() time.Time // injectable clock, for deterministic stats tests
+	start  time.Time
+
+	// q is the default dataset's backend when constructed with New; it
+	// exists for single-tenant callers (and tests) that know there is
+	// exactly one.
+	q hopdb.Querier
+
+	queries atomic.Int64    // individual pair lookups answered, all datasets
 	lat     metrics.Latency // sliding window of query-request latencies
-	// cacheSeq is the journal sequence the distance cache was last known
-	// valid at. Replicated mutations (cluster.Pull) bypass the admin
-	// handler and its purge, so every query request compares the live
-	// sequence against this and purges on movement.
-	cacheSeq atomic.Int64
-	adminMu  sync.Mutex // serializes admin mutations (one writer at a time)
-	ctxPool  sync.Pool
-	handler  http.Handler
+
+	auth       *authStore   // nil: no auth configured
+	anonBucket *tokenBucket // rate limit for unauthenticated traffic
+	inflight   atomic.Int64 // batch pairs currently admitted
+
+	accessLog *httpmw.RingLog
+	logf      func(format string, args ...any)
+	ctxPool   sync.Pool
+	handler   http.Handler
 }
 
 // jsonPair decodes one [s,t] element of a /v1/batch request, rejecting
@@ -149,60 +209,194 @@ type queryCtx struct {
 	results   []DistanceResult
 }
 
-// New wraps q in a Server. The backend must already be fully initialized
-// (graph attached, bit-parallel enabled) before serving starts.
+// New wraps q in a Server as its sole (initial) dataset, named
+// "default". The backend must already be fully initialized (graph
+// attached, bit-parallel enabled) before serving starts; its lifetime
+// stays with the caller (Close it after the server stops). More
+// datasets can be attached later through the admin API.
 func New(q hopdb.Querier, cfg Config) *Server {
+	reg := registry.New()
+	if _, err := reg.Attach(wire.DefaultDataset, q, false); err != nil {
+		// Only a nil Querier can fail here; surface it at the call site.
+		panic(err)
+	}
+	s := NewRegistry(reg, cfg)
+	s.q = q
+	return s
+}
+
+// NewRegistry serves an assembled registry (for multi-dataset startup:
+// cmd/hopdb-serve attaches one dataset per -dataset flag, then calls
+// this).
+func NewRegistry(reg *registry.Registry, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	backend := q.Stats()
 	s := &Server{
-		q:       q,
-		backend: backend,
-		cfg:     cfg,
-		cache:   newDistCache(cfg.CacheEntries, !backend.Directed),
-		now:     time.Now,
+		reg: reg,
+		cfg: cfg,
+		now: time.Now,
 	}
 	s.start = s.now()
-	// Fallible backends (disk, remote) expose per-query errors through
-	// the Lookuper extension; using it keeps an I/O or transport failure
-	// out of the distance cache and turns it into a 502 instead of a
-	// confidently wrong "unreachable".
-	s.lookup, _ = q.(hopdb.Lookuper)
-	s.blookup, _ = q.(hopdb.LookupBatcher)
-	s.updater, _ = q.(hopdb.Updatable)
-	s.rep, _ = q.(hopdb.Replicator)
+	s.logf = cfg.Logf
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	s.auth = newAuthStore(cfg)
+	if s.auth == nil || len(s.auth.principals) == 0 {
+		s.anonBucket = newTokenBucket(cfg.RateQPS, cfg.RateBurst)
+	}
+	s.accessLog = httpmw.NewRingLog(cfg.AccessLogSize)
 	s.ctxPool.New = func() any { return &queryCtx{} }
+	for _, d := range reg.Snapshot() {
+		s.states.Store(d, newDsState(d, cfg))
+		d.Release()
+	}
+	s.handler = s.buildHandler()
+	return s
+}
+
+// buildHandler assembles the route table and the middleware chain.
+func (s *Server) buildHandler() http.Handler {
+	cfg := s.cfg
+	// Per-route timeouts: query routes get cfg.Timeout, admin routes get
+	// cfg.AdminTimeout (label rebuilds outlive query budgets).
+	qt := func(h http.Handler) http.Handler {
+		if cfg.Timeout > 0 {
+			return http.TimeoutHandler(h, cfg.Timeout, `{"error":"request timed out"}`)
+		}
+		return h
+	}
+	at := func(h http.Handler) http.Handler {
+		if cfg.AdminTimeout > 0 {
+			return http.TimeoutHandler(h, cfg.AdminTimeout, `{"error":"request timed out"}`)
+		}
+		return h
+	}
 
 	mux := http.NewServeMux()
-	// The versioned surface, plus the unversioned aliases the first
-	// release shipped: same handlers, so the two stay byte-identical.
-	for _, prefix := range []string{"/v1", ""} {
-		mux.HandleFunc(prefix+"/distance", s.handleDistance)
-		mux.HandleFunc(prefix+"/batch", s.handleBatch)
-		mux.HandleFunc(prefix+"/path", s.handlePath)
-		mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
-		mux.HandleFunc(prefix+"/stats", s.handleStats)
+	// The query surface, dataset-scoped — plus the flat /v1 spellings
+	// and the unversioned aliases the first release shipped, both
+	// resolving the "default" dataset through the same handlers, so the
+	// three stay byte-identical.
+	distance := qt(s.dsRoute(ScopeRead, s.handleDistance, http.MethodGet))
+	batch := qt(s.dsRoute(ScopeRead, s.handleBatch, http.MethodPost))
+	path := qt(s.dsRoute(ScopeRead, s.handlePath, http.MethodGet))
+	// Stats is the fleet handshake (routers discover datasets through
+	// it), so the implicit spellings must answer even when no "default"
+	// dataset is attached: they fall back to the global snapshot. An
+	// explicit /v1/{dataset}/stats naming a missing dataset still 404s.
+	stats := qt(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		name := r.PathValue("dataset")
+		explicit := name != ""
+		if name == "" {
+			name = wire.DefaultDataset
+		}
+		httpmw.SetDataset(r, name)
+		st, release, ok := s.resolve(name)
+		if !ok {
+			if explicit {
+				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
+				return
+			}
+			writeJSON(w, http.StatusOK, s.Stats())
+			return
+		}
+		defer release()
+		s.handleStats(st, w, r)
+	}))
+	for _, p := range []string{"/v1/{dataset}", "/v1", ""} {
+		mux.Handle(p+"/distance", distance)
+		mux.Handle(p+"/batch", batch)
+		mux.Handle(p+"/path", path)
+		mux.Handle(p+"/stats", stats)
 	}
-	// The mutating admin surface, the replication log, and the metrics
-	// exposition exist only under /v1: they post-date the unversioned
-	// aliases, so no legacy spellings are owed.
-	mux.HandleFunc("/v1/admin/edges", s.handleAdminEdges)
-	mux.HandleFunc("/v1/admin/replication/log", s.handleReplicationLog)
-	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	var h http.Handler = mux
-	if cfg.Timeout > 0 {
-		h = http.TimeoutHandler(h, cfg.Timeout, `{"error":"request timed out"}`)
+	for _, p := range []string{"/v1", ""} {
+		mux.HandleFunc(p+"/healthz", s.handleHealthz)
 	}
-	s.handler = h
-	return s
+	// The dataset admin surface: edges and the replication log are
+	// dataset-scoped (flat /v1/admin/* aliases the default dataset; no
+	// unversioned spellings are owed — the surface post-dates them).
+	adminEdges := at(s.dsRoute(ScopeWrite, s.handleAdminEdges, http.MethodPost))
+	replLog := at(s.dsRoute(ScopeWrite, s.handleReplicationLog, http.MethodGet))
+	for _, p := range []string{"/v1/{dataset}", "/v1"} {
+		mux.Handle(p+"/admin/edges", adminEdges)
+		mux.Handle(p+"/admin/replication/log", replLog)
+	}
+	// The registry admin surface and observability.
+	mux.Handle("/v1/admin/datasets", at(http.HandlerFunc(s.handleDatasets)))
+	mux.Handle("/v1/admin/datasets/{name}", at(http.HandlerFunc(s.handleDatasetByName)))
+	mux.Handle("/v1/admin/accesslog", at(http.HandlerFunc(s.handleAccessLog)))
+	mux.Handle("/v1/metrics", qt(http.HandlerFunc(s.handleMetrics)))
+	if cfg.EnablePprof {
+		pp := func(h http.HandlerFunc) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if s.auth != nil {
+					if _, ok := s.authorize(w, r, ScopeAdmin, ""); !ok {
+						return
+					}
+				}
+				h(w, r)
+			})
+		}
+		mux.Handle("/debug/pprof/", pp(pprof.Index))
+		mux.Handle("/debug/pprof/cmdline", pp(pprof.Cmdline))
+		mux.Handle("/debug/pprof/profile", pp(pprof.Profile))
+		mux.Handle("/debug/pprof/symbol", pp(pprof.Symbol))
+		mux.Handle("/debug/pprof/trace", pp(pprof.Trace))
+	}
+
+	return httpmw.Chain(mux,
+		httpmw.RequestID,
+		httpmw.AccessLog(s.accessLog, nil),
+		httpmw.Recover(s.logf),
+		httpmw.MaxBody(64<<20),
+	)
+}
+
+// dsRoute adapts a dataset-scoped handler into an http.HandlerFunc:
+// method check (405 + Allow), dataset resolution ({dataset} path value;
+// absent on the legacy aliases, meaning "default"), access-log
+// annotation, and — when scope is non-empty — authorization.
+func (s *Server) dsRoute(scope string, h func(*dsState, http.ResponseWriter, *http.Request), methods ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, methods...) {
+			return
+		}
+		name := r.PathValue("dataset")
+		if name == "" {
+			name = wire.DefaultDataset
+		}
+		httpmw.SetDataset(r, name)
+		st, release, ok := s.resolve(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name))
+			return
+		}
+		defer release()
+		if scope != "" {
+			r2, ok := s.authorize(w, r, scope, name)
+			if !ok {
+				return
+			}
+			r = r2
+		}
+		h(st, w, r)
+	}
 }
 
 // Handler returns the root http.Handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// AccessLog returns the server's access-log ring (also served at
+// GET /v1/admin/accesslog).
+func (s *Server) AccessLog() *httpmw.RingLog { return s.accessLog }
 
 // DistanceResult is the JSON answer for one query pair. Distance is a
 // pointer so unreachable pairs omit the field instead of reporting a
@@ -224,45 +418,46 @@ type CacheStats = wire.CacheStats
 
 // queryOne answers one pair from the backend, reporting a failure when
 // the backend can (Lookuper).
-func (s *Server) queryOne(sv, tv int32) (uint32, error) {
-	if s.lookup != nil {
-		d, _, err := s.lookup.Lookup(sv, tv)
+func (s *Server) queryOne(st *dsState, sv, tv int32) (uint32, error) {
+	if st.lookup != nil {
+		d, _, err := st.lookup.Lookup(sv, tv)
 		return d, err
 	}
-	d, _ := s.q.Distance(sv, tv)
+	d, _ := st.q.Distance(sv, tv)
 	return d, nil
 }
 
 // queryBatch answers pairs into dists through the backend's batch path,
 // reporting a failure when the backend can (LookupBatcher).
-func (s *Server) queryBatch(dists []uint32, pairs []hopdb.QueryPair) error {
-	if s.blookup != nil {
-		_, err := s.blookup.LookupBatchInto(dists, pairs, s.cfg.Workers)
+func (s *Server) queryBatch(st *dsState, dists []uint32, pairs []hopdb.QueryPair) error {
+	if st.blookup != nil {
+		_, err := st.blookup.LookupBatchInto(dists, pairs, s.cfg.Workers)
 		return err
 	}
-	s.q.DistanceBatchInto(dists, pairs, s.cfg.Workers)
+	st.q.DistanceBatchInto(dists, pairs, s.cfg.Workers)
 	return nil
 }
 
-// distance answers one pair through the cache (when enabled). Failed
-// queries are never cached: a transport or I/O error must not be served
-// as a durable "unreachable" after the backend recovers. The cache
-// generation is captured before the backend query so an answer computed
-// against pre-update labels can never outlive an admin update's purge.
-func (s *Server) distance(sv, tv int32) (uint32, error) {
+// distance answers one pair through the dataset's cache (when enabled).
+// Failed queries are never cached: a transport or I/O error must not be
+// served as a durable "unreachable" after the backend recovers. The
+// cache generation is captured before the backend query so an answer
+// computed against pre-update labels can never outlive an admin
+// update's purge.
+func (s *Server) distance(st *dsState, sv, tv int32) (uint32, error) {
 	var gen uint32
-	if s.cache != nil {
-		if d, ok := s.cache.get(sv, tv); ok {
+	if st.cache != nil {
+		if d, ok := st.cache.get(sv, tv); ok {
 			return d, nil
 		}
-		gen = s.cache.generation()
+		gen = st.cache.generation()
 	}
-	d, err := s.queryOne(sv, tv)
+	d, err := s.queryOne(st, sv, tv)
 	if err != nil {
 		return d, err
 	}
-	if s.cache != nil {
-		s.cache.put(sv, tv, d, gen)
+	if st.cache != nil {
+		st.cache.put(sv, tv, d, gen)
 	}
 	return d, nil
 }
@@ -271,15 +466,15 @@ func (s *Server) distance(sv, tv int32) (uint32, error) {
 // checking the cache first and sharding the misses across the worker
 // pool via the backend's batch path. On a backend failure nothing is
 // cached and the error is reported.
-func (s *Server) distanceBatch(qc *queryCtx) error {
+func (s *Server) distanceBatch(st *dsState, qc *queryCtx) error {
 	pairs, dists := qc.pairs, qc.dists
-	if s.cache == nil {
-		return s.queryBatch(dists, pairs)
+	if st.cache == nil {
+		return s.queryBatch(st, dists, pairs)
 	}
 	qc.missPairs = qc.missPairs[:0]
 	qc.missIdx = qc.missIdx[:0]
 	for i, p := range pairs {
-		if d, ok := s.cache.get(p.S, p.T); ok {
+		if d, ok := st.cache.get(p.S, p.T); ok {
 			dists[i] = d
 		} else {
 			qc.missIdx = append(qc.missIdx, i)
@@ -293,13 +488,13 @@ func (s *Server) distanceBatch(qc *queryCtx) error {
 		qc.missDists = make([]uint32, len(qc.missPairs))
 	}
 	qc.missDists = qc.missDists[:len(qc.missPairs)]
-	gen := s.cache.generation() // before the backend query; see distance
-	if err := s.queryBatch(qc.missDists, qc.missPairs); err != nil {
+	gen := st.cache.generation() // before the backend query; see distance
+	if err := s.queryBatch(st, qc.missDists, qc.missPairs); err != nil {
 		return err
 	}
 	for j, i := range qc.missIdx {
 		dists[i] = qc.missDists[j]
-		s.cache.put(pairs[i].S, pairs[i].T, qc.missDists[j], gen)
+		st.cache.put(pairs[i].S, pairs[i].T, qc.missDists[j], gen)
 	}
 	return nil
 }
@@ -316,15 +511,15 @@ func (s *Server) distanceBatch(qc *queryCtx) error {
 //
 // The position is read before the backend query, so a reported seq is
 // never newer than the epoch that actually answers.
-func (s *Server) replicationGate(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) replicationGate(st *dsState, w http.ResponseWriter, r *http.Request) bool {
 	seq := int64(-1) // -1: backend does not journal, no demand satisfiable
-	if s.rep != nil {
-		seq = s.rep.Seq()
-		if s.cache != nil && s.cacheSeq.Load() != seq && s.cacheSeq.Swap(seq) != seq {
-			s.cache.purge()
+	if st.rep != nil {
+		seq = st.rep.Seq()
+		if st.cache != nil && st.cacheSeq.Load() != seq && st.cacheSeq.Swap(seq) != seq {
+			st.cache.purge()
 		}
 		w.Header().Set(wire.HeaderSeq, strconv.FormatInt(seq, 10))
-		w.Header().Set(wire.HeaderEpoch, strconv.FormatInt(s.rep.Epoch(), 10))
+		w.Header().Set(wire.HeaderEpoch, strconv.FormatInt(st.rep.Epoch(), 10))
 	}
 	raw := r.Header.Get(wire.HeaderMinSeq)
 	if raw == "" {
@@ -347,25 +542,39 @@ func (s *Server) replicationGate(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+// observe records one query request's latency in the global and
+// per-dataset windows.
+func (s *Server) observe(st *dsState, t0 time.Time) {
+	d := s.now().Sub(t0)
+	s.lat.Observe(d)
+	st.lat.Observe(d)
+}
+
+// count records n answered pair lookups.
+func (s *Server) count(st *dsState, n int64) {
+	s.queries.Add(n)
+	st.queries.Add(n)
+}
+
+func (s *Server) handleDistance(st *dsState, w http.ResponseWriter, r *http.Request) {
 	t0 := s.now()
-	defer func() { s.lat.Observe(s.now().Sub(t0)) }()
-	if !allowMethod(w, r, http.MethodGet) {
-		return
-	}
-	if !s.replicationGate(w, r) {
+	defer func() { s.observe(st, t0) }()
+	if !s.replicationGate(st, w, r) {
 		return
 	}
 	sv, tv, ok := parsePair(w, r)
 	if !ok {
 		return
 	}
-	d, err := s.distance(sv, tv)
+	if !s.charge(w, r, 1) {
+		return
+	}
+	d, err := s.distance(st, sv, tv)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "backend query failed: "+err.Error())
 		return
 	}
-	s.queries.Add(1)
+	s.count(st, 1)
 	res := DistanceResult{S: sv, T: tv, Reachable: d != hopdb.Infinity}
 	if res.Reachable {
 		res.Distance = &d
@@ -373,13 +582,10 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(st *dsState, w http.ResponseWriter, r *http.Request) {
 	t0 := s.now()
-	defer func() { s.lat.Observe(s.now().Sub(t0)) }()
-	if !allowMethod(w, r, http.MethodPost) {
-		return
-	}
-	if !s.replicationGate(w, r) {
+	defer func() { s.observe(st, t0) }()
+	if !s.replicationGate(st, w, r) {
 		return
 	}
 	ct := r.Header.Get("Content-Type")
@@ -387,15 +593,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ct = mt
 	}
 	if strings.TrimSpace(ct) == wire.ContentTypeBinaryBatch {
-		s.handleBatchBinary(w, r)
+		s.handleBatchBinary(st, w, r)
 		return
 	}
-	s.handleBatchJSON(w, r)
+	s.handleBatchJSON(st, w, r)
 }
 
 // handleBatchBinary answers a compact-binary batch (see internal/wire)
 // in kind: fixed 8 bytes per pair in, 4 bytes per result out.
-func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatchBinary(st *dsState, w http.ResponseWriter, r *http.Request) {
 	qc := s.ctxPool.Get().(*queryCtx)
 	defer s.ctxPool.Put(qc)
 
@@ -435,22 +641,30 @@ func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := len(qc.pairs)
+	release, ok := s.admit(w, n)
+	if !ok {
+		return
+	}
+	defer release()
+	if !s.charge(w, r, n) {
+		return
+	}
 	if cap(qc.dists) < n {
 		qc.dists = make([]uint32, n)
 	}
 	qc.dists = qc.dists[:n]
-	if err := s.distanceBatch(qc); err != nil {
+	if err := s.distanceBatch(st, qc); err != nil {
 		writeError(w, http.StatusBadGateway, "backend query failed: "+err.Error())
 		return
 	}
-	s.queries.Add(int64(n))
+	s.count(st, int64(n))
 	qc.bin = wire.AppendBatchResponse(qc.bin[:0], qc.dists)
 	w.Header().Set("Content-Type", wire.ContentTypeBinaryBatch)
 	w.WriteHeader(http.StatusOK)
 	w.Write(qc.bin)
 }
 
-func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatchJSON(st *dsState, w http.ResponseWriter, r *http.Request) {
 	qc := s.ctxPool.Get().(*queryCtx)
 	defer s.ctxPool.Put(qc)
 
@@ -485,6 +699,14 @@ func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 	}
 
 	n := len(qc.raw)
+	release, ok := s.admit(w, n)
+	if !ok {
+		return
+	}
+	defer release()
+	if !s.charge(w, r, n) {
+		return
+	}
 	if cap(qc.pairs) < n {
 		qc.pairs = make([]hopdb.QueryPair, n)
 	}
@@ -503,11 +725,11 @@ func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 	for i, p := range qc.raw {
 		qc.pairs[i] = hopdb.QueryPair{S: p[0], T: p[1]}
 	}
-	if err := s.distanceBatch(qc); err != nil {
+	if err := s.distanceBatch(st, qc); err != nil {
 		writeError(w, http.StatusBadGateway, "backend query failed: "+err.Error())
 		return
 	}
-	s.queries.Add(int64(n))
+	s.count(st, int64(n))
 	for i := range qc.results {
 		qc.results[i] = DistanceResult{
 			S:         qc.pairs[i].S,
@@ -521,27 +743,26 @@ func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResult{Results: qc.results})
 }
 
-func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePath(st *dsState, w http.ResponseWriter, r *http.Request) {
 	t0 := s.now()
-	defer func() { s.lat.Observe(s.now().Sub(t0)) }()
-	if !allowMethod(w, r, http.MethodGet) {
-		return
-	}
-	if !s.replicationGate(w, r) {
+	defer func() { s.observe(st, t0) }()
+	if !s.replicationGate(st, w, r) {
 		return
 	}
 	sv, tv, ok := parsePair(w, r)
 	if !ok {
 		return
 	}
-	p, canPath := s.q.(hopdb.Pather)
-	if !canPath {
-		writeError(w, http.StatusNotImplemented,
-			fmt.Sprintf("the %s backend answers distances only; path reconstruction needs an in-memory index with a graph attached", s.backend.Backend))
+	if !s.charge(w, r, 1) {
 		return
 	}
-	path, err := p.Path(sv, tv)
-	s.queries.Add(1)
+	if st.pather == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("the %s backend answers distances only; path reconstruction needs an in-memory index with a graph attached", st.backend.Backend))
+		return
+	}
+	path, err := st.pather.Path(sv, tv)
+	s.count(st, 1)
 	switch {
 	case errors.Is(err, hopdb.ErrNoGraph):
 		writeError(w, http.StatusNotImplemented, "path reconstruction needs a graph; start hopdb-serve with -graph")
@@ -553,7 +774,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	d, _ := s.q.Distance(sv, tv)
+	d, _ := st.q.Distance(sv, tv)
 	writeJSON(w, http.StatusOK, PathResult{S: sv, T: tv, Distance: d, Path: path})
 }
 
@@ -564,29 +785,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleAdminEdges is the mutating admin API: POST /v1/admin/edges with
-// a JSON array of edge operations ([{"op":"insert","u":1,"v":2,"w":3},
-// {"op":"delete","u":4,"v":5}]). It is gated twice: the server must have
-// been started with an admin token (else 403, regardless of backend),
-// and the request must carry it as "Authorization: Bearer <token>" (else
-// 401). A read-only backend answers 501. Ops apply in order; on failure
-// the response reports how many applied, and the distance cache is
-// purged whenever at least one op changed the graph.
-func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
-	if !allowMethod(w, r, http.MethodPost) {
-		return
-	}
-	if !s.checkAdminToken(w, r) {
-		return
-	}
+// handleAdminEdges is the mutating admin API: POST /v1/{ds}/admin/edges
+// with a JSON array of edge operations ([{"op":"insert","u":1,"v":2,
+// "w":3},{"op":"delete","u":4,"v":5}]). Authorization (write scope on
+// the dataset, or the legacy admin token) happens in dsRoute. A
+// read-only backend answers 501. Ops apply in order; on failure the
+// response reports how many applied, and the dataset's distance cache
+// is purged whenever at least one op changed the graph.
+func (s *Server) handleAdminEdges(st *dsState, w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Replica {
 		writeError(w, http.StatusForbidden,
 			"this server is a pull replica; apply edge updates at the primary")
 		return
 	}
-	if s.updater == nil {
+	if st.updater == nil {
 		writeError(w, http.StatusNotImplemented,
-			fmt.Sprintf("the %s backend is read-only; edge updates need hopdb-serve -updates (heap index with a graph)", s.backend.Backend))
+			fmt.Sprintf("the %s backend is read-only; edge updates need hopdb-serve -updates (heap index with a graph)", st.backend.Backend))
 		return
 	}
 	// Ops are small fixed-shape objects; the JSON-batch body heuristic
@@ -616,15 +830,15 @@ func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.adminMu.Lock()
-	applied, err := hopdb.ApplyEdgeOps(s.updater, ops)
-	s.adminMu.Unlock()
-	if applied > 0 && s.cache != nil {
+	st.adminMu.Lock()
+	applied, err := hopdb.ApplyEdgeOps(st.updater, ops)
+	st.adminMu.Unlock()
+	if applied > 0 && st.cache != nil {
 		// Every cached pair may now answer from a stale graph.
-		s.cache.purge()
+		st.cache.purge()
 	}
-	st := s.updater.UpdateStats()
-	res := wire.UpdateResult{Applied: applied, Stats: &st, Seq: st.Seq}
+	ust := st.updater.UpdateStats()
+	res := wire.UpdateResult{Applied: applied, Stats: &ust, Seq: ust.Seq}
 	if err != nil {
 		res.Error = err.Error()
 		// Validation failures (bad vertex, missing edge, bad weight,
@@ -644,37 +858,16 @@ func (s *Server) handleAdminEdges(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// checkAdminToken gates the admin surface: 403 when the server has no
-// token configured, 401 when the request's bearer token does not match.
-func (s *Server) checkAdminToken(w http.ResponseWriter, r *http.Request) bool {
-	if s.cfg.AdminToken == "" {
-		writeError(w, http.StatusForbidden, "admin API disabled; start the server with an admin token")
-		return false
-	}
-	auth, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	if !ok || subtle.ConstantTimeCompare([]byte(auth), []byte(s.cfg.AdminToken)) != 1 {
-		writeError(w, http.StatusUnauthorized, "missing or invalid admin bearer token")
-		return false
-	}
-	return true
-}
-
 // handleReplicationLog serves the mutation journal: GET
-// /v1/admin/replication/log?since=N[&max=M] answers the ops committed
-// after sequence N so a replica (or a chained one — replicas serve their
-// own journal too) can replay them. Gated by the admin bearer token like
-// the rest of the admin surface. 410 Gone means the cursor fell out of
-// the retained window and the puller must reseed from a snapshot.
-func (s *Server) handleReplicationLog(w http.ResponseWriter, r *http.Request) {
-	if !allowMethod(w, r, http.MethodGet) {
-		return
-	}
-	if !s.checkAdminToken(w, r) {
-		return
-	}
-	if s.rep == nil {
+// /v1/{ds}/admin/replication/log?since=N[&max=M] answers the ops
+// committed after sequence N so a replica (or a chained one — replicas
+// serve their own journal too) can replay them. Authorization (write
+// scope) happens in dsRoute. 410 Gone means the cursor fell out of the
+// retained window and the puller must reseed from a snapshot.
+func (s *Server) handleReplicationLog(st *dsState, w http.ResponseWriter, r *http.Request) {
+	if st.rep == nil {
 		writeError(w, http.StatusNotImplemented,
-			fmt.Sprintf("the %s backend does not journal mutations; replication needs hopdb-serve -updates", s.backend.Backend))
+			fmt.Sprintf("the %s backend does not journal mutations; replication needs hopdb-serve -updates", st.backend.Backend))
 		return
 	}
 	q := r.URL.Query()
@@ -704,7 +897,7 @@ func (s *Server) handleReplicationLog(w http.ResponseWriter, r *http.Request) {
 	if max <= 0 || max > int64(s.cfg.MaxBatch) {
 		max = int64(s.cfg.MaxBatch)
 	}
-	log, err := s.rep.ReplicationLog(since, int(max))
+	log, err := st.rep.ReplicationLog(since, int(max))
 	switch {
 	case errors.Is(err, hopdb.ErrJournalGap):
 		writeError(w, http.StatusGone, err.Error())
@@ -725,75 +918,116 @@ func (s *Server) handleReplicationLog(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the Prometheus text exposition (plaintext, no
-// client library): query counters, latency quantiles over a sliding
-// window, cache effectiveness, and the replication position.
+// client library): global query counters and latency quantiles (plus
+// the default dataset's cache/update/index series under their original
+// unlabeled names), and the same series per dataset under
+// hopdb_dataset_* with a dataset label.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
-	st := s.Stats()
+	uptime := s.now().Sub(s.start).Seconds()
+	queries := s.queries.Load()
 	w.Header().Set("Content-Type", metrics.ContentType)
 	m := metrics.NewWriter(w)
 	m.Metric("hopdb_up", "Whether the server is serving.", "gauge", 1)
-	m.Metric("hopdb_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds)
-	m.Metric("hopdb_queries_total", "Individual pair lookups answered.", "counter", float64(st.Queries))
-	m.Metric("hopdb_qps", "Lifetime average pair lookups per second.", "gauge", st.QPS)
-	m.Metric("hopdb_index_vertices", "Indexed vertices.", "gauge", float64(st.Vertices))
-	m.Metric("hopdb_index_size_bytes", "Serialized label size.", "gauge", float64(st.SizeBytes))
-	if qs := s.lat.Quantiles(0.5, 0.95, 0.99); qs != nil {
-		for i, q := range []string{"0.5", "0.95", "0.99"} {
-			m.Metric("hopdb_request_duration_seconds",
-				"Query request latency over a sliding window of recent requests.", "summary",
-				qs[i].Seconds(), "quantile="+q)
+	m.Metric("hopdb_uptime_seconds", "Seconds since the server started.", "gauge", uptime)
+	m.Metric("hopdb_queries_total", "Individual pair lookups answered, all datasets.", "counter", float64(queries))
+	qps := 0.0
+	if uptime > 0 {
+		qps = float64(queries) / uptime
+	}
+	m.Metric("hopdb_qps", "Lifetime average pair lookups per second, all datasets.", "gauge", qps)
+	m.Metric("hopdb_datasets", "Attached datasets.", "gauge", float64(s.reg.Len()))
+	if s.cfg.MaxInflightPairs > 0 {
+		m.Metric("hopdb_inflight_pairs", "Batch pairs currently admitted.", "gauge", float64(s.inflight.Load()))
+	}
+
+	snap := s.reg.Snapshot()
+	// The original unlabeled series stay pinned to the default dataset
+	// (pre-multi-tenant dashboards read them); every dataset, default
+	// included, also gets the labeled hopdb_dataset_* series.
+	for _, d := range snap {
+		if d.Name() != wire.DefaultDataset {
+			continue
+		}
+		st := s.stateFor(d)
+		res := s.statsFor(st)
+		m.Metric("hopdb_index_vertices", "Indexed vertices.", "gauge", float64(res.Vertices))
+		m.Metric("hopdb_index_size_bytes", "Serialized label size.", "gauge", float64(res.SizeBytes))
+		if res.Cache != nil {
+			m.Metric("hopdb_cache_hits_total", "Distance cache hits.", "counter", float64(res.Cache.Hits))
+			m.Metric("hopdb_cache_misses_total", "Distance cache misses.", "counter", float64(res.Cache.Misses))
+			m.Metric("hopdb_cache_hit_rate", "Distance cache hit rate.", "gauge", res.Cache.HitRate)
+			m.Metric("hopdb_cache_entries", "Distance cache resident entries.", "gauge", float64(res.Cache.Entries))
+		}
+		if res.Updates != nil {
+			m.Metric("hopdb_update_epoch", "Published label epoch.", "gauge", float64(res.Updates.Epoch))
+			m.Metric("hopdb_update_seq", "Last committed journal sequence number.", "gauge", float64(res.Updates.Seq))
+			m.Metric("hopdb_update_inserts_total", "Effective edge inserts.", "counter", float64(res.Updates.Inserts))
+			m.Metric("hopdb_update_deletes_total", "Effective edge deletes.", "counter", float64(res.Updates.Deletes))
+			m.Metric("hopdb_update_staleness", "Dirty-vertex fraction since the last full rebuild.", "gauge", res.Updates.Staleness)
 		}
 	}
-	m.Metric("hopdb_request_duration_seconds_count",
-		"Query requests observed by the latency window.", "counter", float64(s.lat.Count()))
-	if st.Cache != nil {
-		m.Metric("hopdb_cache_hits_total", "Distance cache hits.", "counter", float64(st.Cache.Hits))
-		m.Metric("hopdb_cache_misses_total", "Distance cache misses.", "counter", float64(st.Cache.Misses))
-		m.Metric("hopdb_cache_hit_rate", "Distance cache hit rate.", "gauge", st.Cache.HitRate)
-		m.Metric("hopdb_cache_entries", "Distance cache resident entries.", "gauge", float64(st.Cache.Entries))
-	}
-	if st.Updates != nil {
-		m.Metric("hopdb_update_epoch", "Published label epoch.", "gauge", float64(st.Updates.Epoch))
-		m.Metric("hopdb_update_seq", "Last committed journal sequence number.", "gauge", float64(st.Updates.Seq))
-		m.Metric("hopdb_update_inserts_total", "Effective edge inserts.", "counter", float64(st.Updates.Inserts))
-		m.Metric("hopdb_update_deletes_total", "Effective edge deletes.", "counter", float64(st.Updates.Deletes))
-		m.Metric("hopdb_update_staleness", "Dirty-vertex fraction since the last full rebuild.", "gauge", st.Updates.Staleness)
+	m.Summary("hopdb_request_duration_seconds",
+		"Query request latency over a sliding window of recent requests.", &s.lat)
+	for _, d := range snap {
+		st := s.stateFor(d)
+		res := s.statsFor(st)
+		lb := "dataset=" + d.Name()
+		m.Metric("hopdb_dataset_queries_total", "Individual pair lookups answered, per dataset.", "counter", float64(res.Queries), lb)
+		m.Metric("hopdb_dataset_qps", "Lifetime average pair lookups per second, per dataset.", "gauge", res.QPS, lb)
+		m.Metric("hopdb_dataset_index_vertices", "Indexed vertices, per dataset.", "gauge", float64(res.Vertices), lb)
+		m.Metric("hopdb_dataset_index_size_bytes", "Serialized label size, per dataset.", "gauge", float64(res.SizeBytes), lb)
+		m.Summary("hopdb_dataset_request_duration_seconds",
+			"Query request latency over a sliding window, per dataset.", &st.lat, lb)
+		if res.Cache != nil {
+			m.Metric("hopdb_dataset_cache_hits_total", "Distance cache hits, per dataset.", "counter", float64(res.Cache.Hits), lb)
+			m.Metric("hopdb_dataset_cache_misses_total", "Distance cache misses, per dataset.", "counter", float64(res.Cache.Misses), lb)
+			m.Metric("hopdb_dataset_cache_hit_rate", "Distance cache hit rate, per dataset.", "gauge", res.Cache.HitRate, lb)
+		}
+		if res.Updates != nil {
+			m.Metric("hopdb_dataset_update_epoch", "Published label epoch, per dataset.", "gauge", float64(res.Updates.Epoch), lb)
+			m.Metric("hopdb_dataset_update_seq", "Last committed journal sequence number, per dataset.", "gauge", float64(res.Updates.Seq), lb)
+		}
+		d.Release()
 	}
 	// A write error mid-exposition leaves a partial response; there is
 	// nothing useful to do about it.
 	_ = m.Err()
 }
 
-// Stats snapshots the serving counters (also served as /v1/stats). The
-// cache section is present only when the cache is enabled, the updates
-// section only when the backend accepts online edge updates, and the
-// backend kind tells operators which regime (heap/mmap/disk/remote/
-// dynamic) is answering.
-func (s *Server) Stats() StatsResult {
+// statsFor snapshots one dataset's serving counters (served as
+// /v1/{ds}/stats). The cache section is present only when the cache is
+// enabled, the updates section only when the backend accepts online
+// edge updates, and the backend kind tells operators which regime
+// (heap/mmap/disk/remote/dynamic) is answering. Datasets always lists
+// everything attached — routers read it to learn what this server
+// serves.
+func (s *Server) statsFor(st *dsState) StatsResult {
 	uptime := s.now().Sub(s.start).Seconds()
-	queries := s.queries.Load()
-	st := s.q.Stats()
+	queries := st.queries.Load()
+	bst := st.q.Stats()
 	res := StatsResult{
-		Backend:       string(st.Backend),
-		BitParallel:   st.BitParallel,
-		Directed:      st.Directed,
-		Vertices:      st.Vertices,
-		Entries:       st.Entries,
-		SizeBytes:     st.SizeBytes,
+		Dataset:       st.ds.Name(),
+		Backend:       string(bst.Backend),
+		BitParallel:   bst.BitParallel,
+		Directed:      bst.Directed,
+		Vertices:      bst.Vertices,
+		Entries:       bst.Entries,
+		SizeBytes:     bst.SizeBytes,
 		UptimeSeconds: uptime,
 		Queries:       queries,
+		Datasets:      s.reg.Names(),
 	}
 	if uptime > 0 {
 		res.QPS = float64(queries) / uptime
 	}
-	if s.cache != nil {
-		hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+	if st.cache != nil {
+		hits, misses := st.cache.hits.Load(), st.cache.misses.Load()
 		cs := &CacheStats{
-			Capacity: s.cache.capacity(),
-			Entries:  s.cache.len(),
+			Capacity: st.cache.capacity(),
+			Entries:  st.cache.len(),
 			Hits:     hits,
 			Misses:   misses,
 		}
@@ -802,18 +1036,36 @@ func (s *Server) Stats() StatsResult {
 		}
 		res.Cache = cs
 	}
-	if s.updater != nil {
-		us := s.updater.UpdateStats()
+	if st.updater != nil {
+		us := st.updater.UpdateStats()
 		res.Updates = &us
 	}
 	return res
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if !allowMethod(w, r, http.MethodGet) {
-		return
+// Stats snapshots the default dataset's serving counters (the legacy
+// single-tenant view; /v1/stats serves the same bytes). Without a
+// default dataset it reports only the server-wide counters.
+func (s *Server) Stats() StatsResult {
+	if st, release, ok := s.resolve(wire.DefaultDataset); ok {
+		defer release()
+		return s.statsFor(st)
 	}
-	writeJSON(w, http.StatusOK, s.Stats())
+	uptime := s.now().Sub(s.start).Seconds()
+	queries := s.queries.Load()
+	res := StatsResult{
+		UptimeSeconds: uptime,
+		Queries:       queries,
+		Datasets:      s.reg.Names(),
+	}
+	if uptime > 0 {
+		res.QPS = float64(queries) / uptime
+	}
+	return res
+}
+
+func (s *Server) handleStats(st *dsState, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsFor(st))
 }
 
 // parsePair pulls the s/t query parameters, writing a 400 on failure.
@@ -841,9 +1093,10 @@ func parsePair(w http.ResponseWriter, r *http.Request) (sv, tv int32, ok bool) {
 	return sv, tv, true
 }
 
-// allowMethod writes a 405 (with Allow) unless r uses the given method.
-func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	return wire.AllowMethod(w, r, method)
+// allowMethod writes a 405 (with Allow) unless r uses one of the given
+// methods.
+func allowMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	return wire.AllowMethod(w, r, methods...)
 }
 
 // readAllInto appends r's contents to dst, like io.ReadAll but reusing

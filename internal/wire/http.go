@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 )
 
 // Shared HTTP plumbing for the serving tiers (internal/server and
@@ -19,14 +20,18 @@ func TransientStatus(code int) bool {
 		code == http.StatusGatewayTimeout
 }
 
-// AllowMethod writes a 405 (with Allow) unless r uses the given method.
-func AllowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method != method {
-		w.Header().Set("Allow", method)
-		WriteError(w, http.StatusMethodNotAllowed, r.Method+" not allowed; use "+method)
-		return false
+// AllowMethod writes a 405 (with an Allow header listing every accepted
+// method) unless r uses one of the given methods.
+func AllowMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
 	}
-	return true
+	allow := strings.Join(methods, ", ")
+	w.Header().Set("Allow", allow)
+	WriteError(w, http.StatusMethodNotAllowed, r.Method+" not allowed; use "+allow)
+	return false
 }
 
 // WriteJSON writes v as the JSON response body with the given status.

@@ -104,8 +104,10 @@ type PathResult struct {
 	Path     []int32 `json:"path"`
 }
 
-// StatsResult is the JSON answer for /v1/stats.
+// StatsResult is the JSON answer for /v1/stats and /v1/{dataset}/stats.
 type StatsResult struct {
+	// Dataset is the dataset these stats describe.
+	Dataset string `json:"dataset,omitempty"`
 	// Backend is the serving backend kind (heap, mmap, disk, remote).
 	Backend string `json:"backend,omitempty"`
 	// BitParallel reports whether bit-parallel acceleration is active.
@@ -125,6 +127,10 @@ type StatsResult struct {
 	// Updates is present only when the backend accepts online edge
 	// updates (hopdb.Updatable); read-only backends omit the section.
 	Updates *UpdateStats `json:"updates,omitempty"`
+	// Datasets lists every dataset the server currently serves (sorted).
+	// Routers scatter a dataset's queries only to replicas advertising it
+	// here; an absent list (a pre-multi-tenant server) means {"default"}.
+	Datasets []string `json:"datasets,omitempty"`
 }
 
 // UpdateStats describes what online label maintenance has done so far;
@@ -205,7 +211,81 @@ const (
 	// requests for that request (used by hopdb-bench serve -hedge to
 	// measure tail latency with hedging on and off).
 	HeaderNoHedge = "X-Hopdb-No-Hedge"
+	// HeaderRequestID carries the request id: generated at the first tier
+	// that sees a request without one, echoed on every response, and
+	// propagated on every hop (client -> router -> replica), so one id
+	// finds a request in the access logs of every tier it crossed.
+	HeaderRequestID = "X-Hopdb-Request-Id"
 )
+
+// DefaultDataset is the dataset name the bare legacy routes alias:
+// /v1/distance is /v1/default/distance. Single-tenant deployments never
+// need to spell it.
+const DefaultDataset = "default"
+
+// reservedDatasetNames are path segments that already mean something
+// under /v1/ and therefore cannot name a dataset.
+var reservedDatasetNames = map[string]bool{
+	"admin": true, "batch": true, "datasets": true, "debug": true,
+	"distance": true, "healthz": true, "metrics": true, "path": true,
+	"stats": true, "v1": true,
+}
+
+// ValidateDatasetName reports whether name can name a dataset: 1-64
+// characters of [a-zA-Z0-9._-], starting with a letter or digit, and not
+// a reserved route segment. The rules keep names safe to splice into
+// /v1/{dataset}/... paths and into Prometheus label values unescaped.
+func ValidateDatasetName(name string) error {
+	if name == "" {
+		return errors.New("dataset name is empty")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("dataset name %q is longer than 64 characters", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return fmt.Errorf("dataset name %q: character %q at position %d not allowed (want [a-zA-Z0-9._-], starting with a letter or digit)", name, c, i)
+		}
+	}
+	if reservedDatasetNames[name] {
+		return fmt.Errorf("dataset name %q is a reserved route segment", name)
+	}
+	return nil
+}
+
+// DatasetSpec describes how to open one dataset's backend: the JSON body
+// of POST /v1/admin/datasets/{name} and the parsed form of a hopdb-serve
+// -dataset flag. Exactly one of Path or Remote must be set; the booleans
+// mirror the hopdb.Open options.
+type DatasetSpec struct {
+	// Path is the index file (.idx, or .didx with Disk).
+	Path string `json:"path,omitempty"`
+	// Remote proxies the dataset to another hopdb-serve base URL.
+	Remote string `json:"remote,omitempty"`
+	// Mmap memory-maps the index instead of reading it into heap.
+	Mmap bool `json:"mmap,omitempty"`
+	// Disk opens the block-addressable disk-query format.
+	Disk bool `json:"disk,omitempty"`
+	// DiskCache is the label-block cache size for Disk backends.
+	DiskCache int `json:"disk_cache,omitempty"`
+	// Graph attaches the original graph file (enables /path and Updates).
+	Graph string `json:"graph,omitempty"`
+	// Directed/Weighted describe the graph file's format.
+	Directed bool `json:"directed,omitempty"`
+	Weighted bool `json:"weighted,omitempty"`
+	// BitParallel folds the top-ranked hubs into bit-parallel tuples;
+	// <0 disables, 0 selects the paper default, >0 sets the root count.
+	BitParallel int `json:"bit_parallel,omitempty"`
+	// Updates opens the dataset for online edge updates (needs Graph).
+	Updates bool `json:"updates,omitempty"`
+	// StaleFraction is the staleness threshold that forces a full label
+	// rebuild for Updates backends; 0 selects the default.
+	StaleFraction float64 `json:"stale_fraction,omitempty"`
+}
 
 // EdgeOp is one edge mutation of an update batch: the body element of
 // POST /v1/admin/edges and the parsed form of a hopdb-update delta line.

@@ -23,6 +23,8 @@ type openConfig struct {
 	bpRoots   int
 	remotes   []string
 	httpc     *http.Client
+	dataset   string
+	token     string
 	updates   bool
 	updateOpt UpdateOptions
 }
@@ -84,6 +86,21 @@ func WithHTTPClient(hc *http.Client) OpenOption {
 	return func(c *openConfig) { c.httpc = hc }
 }
 
+// WithDataset selects a named dataset on a multi-tenant hopdb-serve (or
+// hopdb-router): queries go to /v1/{name}/* instead of the flat /v1/*
+// routes, which serve the dataset named "default". Requires
+// WithRemote(s).
+func WithDataset(name string) OpenOption {
+	return func(c *openConfig) { c.dataset = name }
+}
+
+// WithToken sends token as "Authorization: Bearer ..." on every request
+// a WithRemote backend makes, for servers running with a token file or
+// admin token. Requires WithRemote(s).
+func WithToken(token string) OpenOption {
+	return func(c *openConfig) { c.token = token }
+}
+
 // WithUpdates opens the index for online edge updates: the returned
 // Querier also implements Updatable (InsertEdge/DeleteEdge patch the
 // labels in place and publish a fresh immutable epoch, so concurrent
@@ -120,7 +137,14 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 		if cfg.mmap || cfg.disk || cfg.graph != nil || cfg.bp || cfg.updates {
 			return nil, fmt.Errorf("hopdb: Open: WithRemote(s) cannot be combined with local-backend options")
 		}
-		return client.NewMulti(cfg.remotes, client.Options{HTTPClient: cfg.httpc})
+		return client.NewMulti(cfg.remotes, client.Options{
+			HTTPClient: cfg.httpc,
+			Dataset:    cfg.dataset,
+			Token:      cfg.token,
+		})
+	}
+	if cfg.dataset != "" || cfg.token != "" {
+		return nil, fmt.Errorf("hopdb: Open: WithDataset/WithToken apply only to WithRemote(s) backends")
 	}
 	if cfg.updates {
 		if cfg.mmap || cfg.disk {

@@ -112,7 +112,14 @@ func openBackends(t *testing.T, g *hopdb.Graph, gc confGraph) []confBackend {
 	if err := idx.SaveDiskIndex(diskPath); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(idx, server.Config{Workers: 4}).Handler())
+	// The server serves idx twice: as "default" (the flat /v1 routes)
+	// and as the named dataset "conf" (/v1/conf/*) — the remote backend
+	// must answer identically through both spellings.
+	srv := server.New(idx, server.Config{Workers: 4})
+	if err := srv.Attach("conf", idx, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
 	open := func(name string, kind hopdb.Backend, path string, opts ...hopdb.OpenOption) confBackend {
@@ -128,6 +135,7 @@ func openBackends(t *testing.T, g *hopdb.Graph, gc confGraph) []confBackend {
 		open("mmap", hopdb.BackendMmap, idxPath, hopdb.WithMmap()),
 		open("disk", hopdb.BackendDisk, diskPath, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: 16})),
 		open("remote", hopdb.BackendRemote, "", hopdb.WithRemote(ts.URL)),
+		open("remote-dataset", hopdb.BackendRemote, "", hopdb.WithRemote(ts.URL), hopdb.WithDataset("conf")),
 	}
 	if !gc.directed && !gc.weighted {
 		backends = append(backends,
