@@ -450,6 +450,56 @@ func BenchmarkDistance(b *testing.B) {
 				flat.Distance(p[0], p[1])
 			}
 		})
+		ck, ok := label.CompactFrom(flat)
+		if !ok {
+			b.Fatalf("%s: labels not compact-encodable", gc.name)
+		}
+		b.Run(gc.name+"/compact", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				ck.Distance(p[0], p[1])
+			}
+		})
+	}
+}
+
+// BenchmarkDistanceBatch measures batch throughput through the Index
+// facade: the plain chunked path over the scalar kernel against the
+// compact kernel's locality-scheduled path (source-rank sort plus
+// next-pair prefetch). The acceptance target for the scheduled path is
+// >= 2x pairs/s on the scale-free suite.
+func BenchmarkDistanceBatch(b *testing.B) {
+	for _, name := range []string{"enron", "slashdot"} {
+		g := mustDataset(b, name)
+		nested, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := newIndex(label.Freeze(nested), nil)
+		rp := randPairs(g.N(), 1<<14, 83)
+		pairs := make([]QueryPair, len(rp))
+		for i, p := range rp {
+			pairs[i] = QueryPair{S: p[0], T: p[1]}
+		}
+		results := make([]uint32, len(pairs))
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/scalar/workers-%d", name, workers), func(b *testing.B) {
+				idx.ck.Store(nil)
+				for i := 0; i < b.N; i++ {
+					idx.DistanceBatchInto(results, pairs, workers)
+				}
+				b.ReportMetric(float64(len(pairs))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+			})
+			b.Run(fmt.Sprintf("%s/compact/workers-%d", name, workers), func(b *testing.B) {
+				if err := idx.EnableCompact(); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					idx.DistanceBatchInto(results, pairs, workers)
+				}
+				b.ReportMetric(float64(len(pairs))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+			})
+		}
 	}
 }
 

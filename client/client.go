@@ -437,6 +437,7 @@ func (c *Client) Stats() wire.QuerierStats {
 	st := c.handshake
 	return wire.QuerierStats{
 		Backend:     wire.BackendRemote,
+		Kernel:      wire.Kernel(st.Kernel),
 		Directed:    st.Directed,
 		Vertices:    st.Vertices,
 		Entries:     st.Entries,

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hopdb-build -in graph.txt -o graph.idx
+//	hopdb-build -in graph.txt -compact -o graph.idx   # delta-coded v3 image
 //	hopdb-build -in web.txt -directed -method hybrid -external -o web.idx
 package main
 
@@ -31,10 +32,16 @@ func main() {
 		tmp      = flag.String("tmp", "", "external builder temp dir")
 		noPrune  = flag.Bool("no-pruning", false, "disable label pruning (ablation)")
 		stats    = flag.Bool("stats", false, "print per-iteration statistics")
+		compact  = flag.Bool("compact", false, "write -o in the compact (v3, delta-coded) format; smaller but not mmap-able")
 	)
 	flag.Parse()
 	if *in == "" || (*out == "" && *disk == "") {
 		fmt.Fprintln(os.Stderr, "hopdb-build: -in and one of -o/-disk are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *compact && *out == "" {
+		fmt.Fprintln(os.Stderr, "hopdb-build: -compact requires -o")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -84,7 +91,11 @@ func main() {
 		}
 	}
 	if *out != "" {
-		if err := idx.Save(*out); err != nil {
+		save := idx.Save
+		if *compact {
+			save = idx.SaveCompact
+		}
+		if err := save(*out); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)

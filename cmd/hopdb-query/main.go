@@ -137,7 +137,13 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	if count > 0 {
-		fmt.Fprintf(os.Stderr, "%d queries in %v (%.2f us/query)\n", count, elapsed, elapsed.Seconds()/float64(count)*1e6)
+		st := q.Stats()
+		kernel := string(st.Kernel)
+		if kernel == "" {
+			kernel = string(hopdb.KernelScalar)
+		}
+		fmt.Fprintf(os.Stderr, "%d queries in %v (%.2f us/query) backend=%s kernel=%s\n",
+			count, elapsed, elapsed.Seconds()/float64(count)*1e6, st.Backend, kernel)
 	}
 	if d := hopdb.Disk(q); d != nil && count > 0 {
 		fmt.Fprintf(os.Stderr, "disk I/O: %d block reads (%.2f per query)\n", d.IOs(), float64(d.IOs())/float64(count))

@@ -123,17 +123,18 @@ type Stats = core.BuildStats
 // An Index is safe for concurrent use: Distance, DistanceBatch, Path, and
 // the size accessors may be called from any number of goroutines, because
 // they only read the immutable label arrays (heap-allocated or mmap'd).
-// EnableBitParallel may even be invoked while queries are in flight — the
-// bit-parallel index is published atomically, so a concurrent query
-// observes either the plain merge-join or the bit-parallel path, both of
-// which return identical exact distances. The one ordering requirement is
-// AttachGraph: it must complete before any concurrent Path or
-// EnableBitParallel call, since the graph pointer itself is not
-// synchronized.
+// EnableBitParallel and EnableCompact may even be invoked while queries
+// are in flight — each accelerated kernel is published atomically, so a
+// concurrent query observes either the plain merge-join or the
+// accelerated path, all of which return identical exact distances. The
+// one ordering requirement is AttachGraph: it must complete before any
+// concurrent Path or EnableBitParallel call, since the graph pointer
+// itself is not synchronized.
 type Index struct {
-	flat *label.FlatIndex                  // query-serving CSR labels
-	g    *Graph                            // retained for Path; may be nil after Load
-	bp   atomic.Pointer[bitparallel.Index] // optional bit-parallel acceleration
+	flat *label.FlatIndex                   // query-serving CSR labels
+	g    *Graph                             // retained for Path; may be nil after Load
+	bp   atomic.Pointer[bitparallel.Index]  // optional bit-parallel acceleration
+	ck   atomic.Pointer[label.CompactIndex] // optional branch-free packed kernel
 
 	// labels is a lazily built read-only view aliasing flat's arrays,
 	// materialized only for tooling that wants the nested form; building
@@ -183,7 +184,12 @@ func Build(g *Graph, opt Options) (*Index, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return newIndex(label.Freeze(x), g), st, nil
+	idx := newIndex(label.Freeze(x), g)
+	// The packed kernel is auto-enabled whenever the labels are encodable;
+	// unencodable labels (a distance beyond 8 bits) keep the scalar kernel
+	// with identical answers.
+	_ = idx.EnableCompact()
+	return idx, st, nil
 }
 
 // Distance returns the exact distance from s to t and whether t is
@@ -193,6 +199,8 @@ func (x *Index) Distance(s, t int32) (uint32, bool) {
 	var d uint32
 	if bp := x.bp.Load(); bp != nil {
 		d = bp.Distance(s, t)
+	} else if ck := x.ck.Load(); ck != nil {
+		d = ck.Distance(s, t)
 	} else {
 		d = x.flat.Distance(s, t)
 	}
@@ -240,6 +248,37 @@ func (x *Index) EnableBitParallel(roots int) error {
 	return nil
 }
 
+// EnableCompact packs the labels into the branch-free compact query
+// kernel: pivot and distance quantized into one 4-byte key per entry,
+// rows sentinel-padded to cache-line lanes, and the merge-join replaced
+// by a branchless masked-compare intersection. Answers are byte-identical
+// to the scalar kernel; only latency changes. It fails when the labels do
+// not fit the packed fields (a distance beyond 8 bits — long weighted
+// paths — or more than ~16.7M vertices), in which case queries stay on
+// the scalar kernel.
+//
+// Heap indexes opened through Open (and indexes returned by Build)
+// enable the compact kernel automatically when encodable; call sites
+// only need EnableCompact for mmap-backed indexes (where the packed
+// arrays cost heap memory the mmap regime was chosen to avoid, so it is
+// opt-in via WithCompactKernel) or after a manual LoadIndex. Like
+// EnableBitParallel, it may be called while queries are in flight: the
+// packed kernel is published with one atomic store. When bit-parallel
+// acceleration is also enabled, it takes precedence.
+func (x *Index) EnableCompact() error {
+	ck, ok := label.CompactFrom(x.flat)
+	if !ok {
+		return fmt.Errorf("hopdb: labels exceed the compact kernel's packed fields (distance > %d or vertices > %d)",
+			255, 1<<24-1)
+	}
+	x.ck.Store(ck)
+	return nil
+}
+
+// Compact exposes the packed kernel arrays of an index with the compact
+// kernel enabled, or nil. Treat it as read-only; tooling and tests only.
+func (x *Index) Compact() *label.CompactIndex { return x.ck.Load() }
+
 // Save writes the index to path in the v2 flat binary format, whose label
 // payload is the CSR arrays verbatim (loadable with LoadIndex or
 // memory-mapped with LoadIndexFlat).
@@ -256,11 +295,31 @@ func (x *Index) Save(path string) error {
 	return f.Close()
 }
 
-// LoadIndex reads an index saved with Save. Both formats are accepted: a
-// v2 flat file is parsed in place from a single read (O(1) allocations for
-// the label payload), and a legacy v1 file is streamed entry-by-entry and
-// frozen. Path reconstruction and bit-parallel transformation are
-// unavailable until the graph is re-attached with AttachGraph.
+// SaveCompact writes the index to path in the v3 compact binary format:
+// per-row delta-coded varint entries, typically 2-4x smaller than the v2
+// flat image on scale-free graphs. A compact file is for shipping and
+// cold storage — LoadIndex and Open accept it (decoding it into memory),
+// but it cannot be memory-mapped (WithMmap needs the v2 flat layout).
+func (x *Index) SaveCompact(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := x.flat.WriteCompact(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index saved with Save or SaveCompact. All three
+// formats are accepted: a v2 flat file is parsed in place from a single
+// read (O(1) allocations for the label payload), a v3 compact file is
+// delta-decoded into fresh arrays, and a legacy v1 file is streamed
+// entry-by-entry and frozen. Path reconstruction and bit-parallel
+// transformation are unavailable until the graph is re-attached with
+// AttachGraph.
 //
 // Deprecated: use Open, the backend-agnostic entry point (Open(path) is
 // the heap backend). LoadIndex remains as a thin wrapper and keeps
@@ -281,7 +340,7 @@ func loadIndex(path string) (*Index, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	if label.IsFlatImage(magic[:]) {
+	if label.IsFlatImage(magic[:]) || label.IsCompactImage(magic[:]) {
 		st, err := f.Stat()
 		if err != nil {
 			return nil, err
@@ -290,7 +349,13 @@ func loadIndex(path string) (*Index, error) {
 		if _, err := io.ReadFull(f, buf); err != nil {
 			return nil, fmt.Errorf("hopdb: reading %s: %w", path, err)
 		}
-		flat, err := label.ParseFlat(buf)
+		var flat *label.FlatIndex
+		if label.IsCompactImage(buf) {
+			// v3 delta-coded image: decoded, not aliased.
+			flat, err = label.ParseCompact(buf)
+		} else {
+			flat, err = label.ParseFlat(buf)
+		}
 		if err != nil {
 			return nil, err
 		}

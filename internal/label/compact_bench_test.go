@@ -1,0 +1,57 @@
+package label_test
+
+// Kernel microbenchmarks: the scalar merge over 8-byte entries against
+// the packed branch-free kernel, on the same labels in the same process,
+// so the comparison is insulated from run-to-run machine noise. The
+// root-package BenchmarkDistance covers the paper datasets; this one is
+// for kernel work, where a tight inner loop is iterated on.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/label"
+)
+
+func benchIndex(b *testing.B, n int32) (*label.FlatIndex, *label.CompactIndex, [][2]int32) {
+	b.Helper()
+	g, err := gen.GLP(gen.DefaultGLP(n, 4, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat := label.Freeze(x)
+	c, ok := label.CompactFrom(flat)
+	if !ok {
+		b.Fatal("labels not compact-encodable")
+	}
+	rng := rand.New(rand.NewSource(41))
+	pairs := make([][2]int32, 1<<14)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(g.N()), rng.Int31n(g.N())}
+	}
+	return flat, c, pairs
+}
+
+// BenchmarkKernelDistance compares the two point-query kernels on a
+// scale-free graph large enough that labels spill out of L2.
+func BenchmarkKernelDistance(b *testing.B) {
+	flat, c, pairs := benchIndex(b, 20000)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			flat.Distance(p[0], p[1])
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			c.Distance(p[0], p[1])
+		}
+	})
+}

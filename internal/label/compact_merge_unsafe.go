@@ -1,0 +1,48 @@
+//go:build hopdb_unsafe
+
+package label
+
+import "unsafe"
+
+// compactMerge is the unsafe-gated variant of the portable kernel in
+// compact_merge_portable.go: the same loop structure — either-parked
+// termination, predicted matching-pivot fast path, masked-compare
+// advance through divergent regions — but reading the rows through raw
+// pointer arithmetic so the loop body carries no slice bounds checks at
+// all. Enable it with
+//
+//	go build -tags hopdb_unsafe ./...
+//
+// It is gated — like the bit-parallel index's platform paths — because
+// it trades the runtime's memory-safety net for a few instructions per
+// iteration: the row layout invariants (non-empty, sentinel-terminated)
+// are what keep the cursors in bounds, and those are enforced at
+// construction (CompactFrom) rather than per access here. Both kernels
+// return identical answers; the conformance and property suites run
+// against whichever one the build selected.
+func compactMerge(a, b []uint32, best uint32) uint32 {
+	pa0 := unsafe.Pointer(&a[0])
+	pb0 := unsafe.Pointer(&b[0])
+	var i, j uintptr
+	for {
+		ka := *(*uint32)(unsafe.Add(pa0, i*4))
+		kb := *(*uint32)(unsafe.Add(pb0, j*4))
+		if ka >= compactParked || kb >= compactParked {
+			return best
+		}
+		pa, pb := ka>>8, kb>>8
+		if pa == pb {
+			// Matching-pivot fast path: see the portable kernel. Taken
+			// run-after-run on the shared hub prefix, so it predicts.
+			if d := (ka & compactDistMask) + (kb & compactDistMask); d < best {
+				best = d
+			}
+			i++
+			j++
+			continue
+		}
+		lt := (pb - pa) >> 31 // 1 when pb < pa (24-bit fields: bit 31 is the borrow)
+		i += uintptr(lt ^ 1)
+		j += uintptr(lt)
+	}
+}

@@ -1,0 +1,251 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// v3 compact index format (little endian): the archival/shipping form of
+// an index, delta-encoded so scale-free labels cost ~2-3 bytes per entry
+// instead of the flat format's 8. Unlike the v2 flat image it cannot be
+// aliased or memory-mapped — it is decoded into a FlatIndex on load —
+// so it trades load CPU for file size and transfer bandwidth (replica
+// seeding, cold storage). The quantized in-memory kernel layout
+// (CompactIndex) is rebuilt from the decoded FlatIndex, not stored.
+//
+//	 0  magic "HDX3"
+//	 4  version u8 = 3
+//	 5  flags u8: bit0 directed, bit1 weighted, bit2 perm present
+//	 6  reserved u16 (zero)
+//	 8  n u32
+//	12  reserved u32 (zero)
+//	16  perm u32[n] if flags&4, zero-padded to an 8-byte boundary
+//	 .  out side, then in side if directed; per vertex, in rank order:
+//	    uvarint entry count, then per entry:
+//	      uvarint pivot gap   (pivot - previous pivot; first uses -1, so
+//	                           gaps are always >= 1 in a sorted row)
+//	      uvarint distance
+//
+// The gap encoding bakes the label invariants into the format: a zero
+// gap (unsorted or duplicate pivot) and a pivot reaching the owner id
+// (non-outranking) are both decode errors, so ParseCompact never
+// produces an index that fails Validate.
+const (
+	compactMagic   = "HDX3"
+	compactVersion = 3
+)
+
+// IsCompactImage reports whether buf starts with the v3 compact-format
+// magic.
+func IsCompactImage(buf []byte) bool {
+	return len(buf) >= 4 && string(buf[:4]) == compactMagic
+}
+
+// WriteCompact serializes the index in the v3 compact format. Any index
+// can be written — distances and vertex counts are varint-coded, so the
+// format has no quantization bounds (those apply only to the in-memory
+// kernel layout).
+func (f *FlatIndex) WriteCompact(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [flatHeaderSize]byte
+	copy(hdr[:4], compactMagic)
+	hdr[4] = compactVersion
+	flags := byte(0)
+	if f.Directed {
+		flags |= flagDirected
+	}
+	if f.Weighted {
+		flags |= flagWeighted
+	}
+	if f.Perm != nil {
+		flags |= flagPerm
+	}
+	hdr[5] = flags
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(f.N))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if f.Perm != nil {
+		var b4 [4]byte
+		for _, p := range f.Perm {
+			binary.LittleEndian.PutUint32(b4[:], uint32(p))
+			if _, err := bw.Write(b4[:]); err != nil {
+				return err
+			}
+		}
+		if len(f.Perm)%2 == 1 {
+			var pad [4]byte
+			if _, err := bw.Write(pad[:]); err != nil {
+				return err
+			}
+		}
+	}
+	var scratch [2 * binary.MaxVarintLen64]byte
+	writeSide := func(offsets []int64, entries []Entry) error {
+		for v := int32(0); v < f.N; v++ {
+			row := entries[offsets[v]:offsets[v+1]]
+			k := binary.PutUvarint(scratch[:], uint64(len(row)))
+			if _, err := bw.Write(scratch[:k]); err != nil {
+				return err
+			}
+			prev := int64(-1)
+			for _, e := range row {
+				k = binary.PutUvarint(scratch[:], uint64(int64(e.Pivot)-prev))
+				k += binary.PutUvarint(scratch[k:], uint64(e.Dist))
+				if _, err := bw.Write(scratch[:k]); err != nil {
+					return err
+				}
+				prev = int64(e.Pivot)
+			}
+		}
+		return nil
+	}
+	if err := writeSide(f.OutOffsets, f.OutEntries); err != nil {
+		return err
+	}
+	if f.Directed {
+		if err := writeSide(f.InOffsets, f.InEntries); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseCompact decodes a v3 compact image into a freshly allocated
+// FlatIndex. Corrupt input fails with a clean error — counts are bounded
+// against the input size before they drive any allocation, and the label
+// invariants (sorted rows, outranking pivots) are enforced by the gap
+// decoding itself — so an accepted image always satisfies Validate.
+func ParseCompact(buf []byte) (*FlatIndex, error) {
+	if len(buf) < flatHeaderSize {
+		return nil, fmt.Errorf("label: compact image truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:4]) != compactMagic {
+		return nil, fmt.Errorf("label: bad compact magic %q", buf[:4])
+	}
+	if buf[4] != compactVersion {
+		return nil, fmt.Errorf("label: unsupported compact version %d", buf[4])
+	}
+	flags := buf[5]
+	if flags&^byte(knownFlags) != 0 {
+		return nil, fmt.Errorf("label: unknown compact flags %#x", flags)
+	}
+	n := int64(binary.LittleEndian.Uint32(buf[8:12]))
+	f := &FlatIndex{
+		Directed: flags&flagDirected != 0,
+		Weighted: flags&flagWeighted != 0,
+		N:        int32(n),
+	}
+	if int64(f.N) != n {
+		return nil, fmt.Errorf("label: corrupt vertex count %d", n)
+	}
+	size := int64(len(buf))
+	pos := int64(flatHeaderSize)
+	if flags&flagPerm != 0 {
+		permBytes := 4 * n
+		if pos+permBytes > size {
+			return nil, fmt.Errorf("label: compact image truncated in perm table")
+		}
+		// Copied, not aliased: the decoded index must not pin the raw
+		// image (the entry sections are decoded, not viewed).
+		f.Perm = make([]int32, n)
+		seen := make([]uint64, (n+63)/64)
+		for v := range f.Perm {
+			r := int64(binary.LittleEndian.Uint32(buf[pos+4*int64(v):]))
+			if r >= n || seen[r>>6]&(1<<(uint(r)&63)) != 0 {
+				return nil, fmt.Errorf("label: perm is not a permutation at vertex %d", v)
+			}
+			seen[r>>6] |= 1 << (uint(r) & 63)
+			f.Perm[v] = int32(r)
+		}
+		pos += permBytes
+		pos = (pos + 7) &^ 7
+		if pos > size {
+			return nil, fmt.Errorf("label: compact image truncated in perm padding")
+		}
+	}
+	uvarint := func(what string) (uint64, error) {
+		v, k := binary.Uvarint(buf[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("label: compact image truncated in %s", what)
+		}
+		pos += int64(k)
+		return v, nil
+	}
+	readSide := func(name string) ([]int64, []Entry, error) {
+		// Every vertex contributes at least a count byte, so a header
+		// vertex count beyond the remaining payload is rejected before
+		// the offsets allocation it would size.
+		if n > size-pos {
+			return nil, nil, fmt.Errorf("label: compact image truncated in %s rows", name)
+		}
+		offsets := make([]int64, n+1)
+		var entries []Entry
+		for v := int64(0); v < n; v++ {
+			offsets[v] = int64(len(entries))
+			count, err := uvarint(name + " row count")
+			if err != nil {
+				return nil, nil, err
+			}
+			// Each encoded entry costs >= 2 bytes (gap + distance), so a
+			// count can never exceed half the remaining payload; checked
+			// before it drives the row allocation.
+			if count > uint64(size-pos)/2 {
+				return nil, nil, fmt.Errorf("label: %s(%d) claims %d entries beyond image size", name, v, count)
+			}
+			prev := int64(-1)
+			for i := uint64(0); i < count; i++ {
+				gap, err := uvarint(name + " pivot gap")
+				if err != nil {
+					return nil, nil, err
+				}
+				dist, err := uvarint(name + " distance")
+				if err != nil {
+					return nil, nil, err
+				}
+				if gap == 0 {
+					return nil, nil, fmt.Errorf("label: %s(%d) not strictly sorted", name, v)
+				}
+				pivot := prev + int64(gap)
+				if pivot >= v {
+					return nil, nil, fmt.Errorf("label: %s(%d) has non-outranking pivot %d", name, v, pivot)
+				}
+				if dist > math.MaxUint32 {
+					return nil, nil, fmt.Errorf("label: %s(%d) distance %d overflows", name, v, dist)
+				}
+				entries = append(entries, Entry{Pivot: int32(pivot), Dist: uint32(dist)})
+				prev = pivot
+			}
+		}
+		offsets[n] = int64(len(entries))
+		return offsets, entries, nil
+	}
+	var err error
+	if f.OutOffsets, f.OutEntries, err = readSide("Lout"); err != nil {
+		return nil, err
+	}
+	if f.Directed {
+		if f.InOffsets, f.InEntries, err = readSide("Lin"); err != nil {
+			return nil, err
+		}
+	} else {
+		f.InOffsets, f.InEntries = f.OutOffsets, f.OutEntries
+	}
+	if pos != size {
+		return nil, fmt.Errorf("label: compact image has %d trailing bytes", size-pos)
+	}
+	return f, nil
+}
+
+// LoadCompactFile reads and decodes a v3 compact index file.
+func LoadCompactFile(path string) (*FlatIndex, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCompact(buf)
+}

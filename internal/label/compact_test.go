@@ -1,0 +1,230 @@
+package label_test
+
+// The compact-kernel contract: answers byte-identical to the scalar
+// FlatIndex merge over the same labels, on every graph shape the
+// cross-backend conformance suite uses, plus the format round trip for
+// the delta-coded v3 image. "Byte-identical" is literal — the uint32
+// distances must match exactly, including Infinity for unreachable and
+// out-of-range pairs.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/label"
+)
+
+// compactShape is one graph shape of the kernel property suite,
+// mirroring the root conformance table.
+type compactShape struct {
+	name  string
+	build func(t *testing.T) *graph.Graph
+}
+
+func compactShapes() []compactShape {
+	mustER := func(t *testing.T, n int32, m int, directed bool, seed int64) *graph.Graph {
+		g, err := gen.ER(n, m, directed, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	return []compactShape{
+		{
+			// Disconnected components plus an isolated vertex: exercises
+			// unreachable pairs and empty (all-sentinel) label rows.
+			name: "undirected-components",
+			build: func(t *testing.T) *graph.Graph {
+				b := graph.NewBuilder(false, false)
+				b.AddEdge(0, 1, 1)
+				b.AddEdge(1, 2, 1)
+				b.AddEdge(2, 3, 1)
+				b.AddEdge(4, 5, 1)
+				b.Grow(7)
+				g, err := b.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+		{
+			name: "undirected-scalefree",
+			build: func(t *testing.T) *graph.Graph {
+				g, err := gen.GLP(gen.DefaultGLP(60, 3, 41))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+		{
+			name: "directed-powerlaw",
+			build: func(t *testing.T) *graph.Graph {
+				g, err := gen.PowerLaw(gen.PowerLawParams{
+					N: 50, Density: 3, Alpha: 2.2, Directed: true, Seed: 43,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+		{
+			name: "undirected-weighted",
+			build: func(t *testing.T) *graph.Graph {
+				g0 := mustER(t, 40, 90, false, 45)
+				g, err := gen.WithRandomWeights(g0, 9, 45)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+		},
+	}
+}
+
+func buildFlat(t *testing.T, g *graph.Graph) *label.FlatIndex {
+	t.Helper()
+	x, _, err := core.Build(g, core.Options{Method: core.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return label.Freeze(x)
+}
+
+// TestCompactMatchesFlat is the kernel property test: for every shape,
+// the compact kernel's answer equals the scalar kernel's answer for
+// every pair, including out-of-range ids.
+func TestCompactMatchesFlat(t *testing.T) {
+	for _, sh := range compactShapes() {
+		t.Run(sh.name, func(t *testing.T) {
+			g := sh.build(t)
+			flat := buildFlat(t, g)
+			c, ok := label.CompactFrom(flat)
+			if !ok {
+				t.Fatalf("CompactFrom reported unencodable for %s", sh.name)
+			}
+			if c.Entries() != flat.Entries() {
+				t.Fatalf("compact Entries() = %d, flat has %d", c.Entries(), flat.Entries())
+			}
+			n := flat.N
+			probe := []int32{-1, -7, n, n + 3}
+			for s := int32(0); s < n; s++ {
+				for u := int32(0); u < n; u++ {
+					want := flat.Distance(s, u)
+					if got := c.Distance(s, u); got != want {
+						t.Fatalf("compact Distance(%d,%d) = %d, flat answers %d", s, u, got, want)
+					}
+				}
+			}
+			for _, s := range probe {
+				for _, u := range append(probe, 0, n-1) {
+					want := flat.Distance(s, u)
+					if got := c.Distance(s, u); got != want {
+						t.Fatalf("compact Distance(%d,%d) = %d, flat answers %d", s, u, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompactUnencodable pins the fallback contract: labels that do not
+// fit the packed key fields must be reported, not silently mangled.
+func TestCompactUnencodable(t *testing.T) {
+	f := &label.FlatIndex{
+		N:          2,
+		OutOffsets: []int64{0, 0, 1},
+		OutEntries: []label.Entry{{Pivot: 0, Dist: 256}}, // 9 bits
+	}
+	f.InOffsets, f.InEntries = f.OutOffsets, f.OutEntries
+	if _, ok := label.CompactFrom(f); ok {
+		t.Fatal("CompactFrom accepted a 9-bit distance")
+	}
+	f.OutEntries[0].Dist = 255
+	if _, ok := label.CompactFrom(f); !ok {
+		t.Fatal("CompactFrom rejected a maximal 8-bit distance")
+	}
+}
+
+// TestCompactRoundTrip pins the v3 format: write, parse, and get back
+// exactly the same labels, flags, and perm — and therefore exactly the
+// same answers.
+func TestCompactRoundTrip(t *testing.T) {
+	for _, sh := range compactShapes() {
+		t.Run(sh.name, func(t *testing.T) {
+			g := sh.build(t)
+			flat := buildFlat(t, g)
+			var buf bytes.Buffer
+			if err := flat.WriteCompact(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := label.ParseCompact(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(flat) {
+				t.Fatal("round-tripped index labels differ")
+			}
+			if got.Directed != flat.Directed || got.Weighted != flat.Weighted {
+				t.Fatalf("round trip lost flags: directed %v->%v, weighted %v->%v",
+					flat.Directed, got.Directed, flat.Weighted, got.Weighted)
+			}
+			if (got.Perm == nil) != (flat.Perm == nil) {
+				t.Fatalf("round trip perm presence: %v -> %v", flat.Perm != nil, got.Perm != nil)
+			}
+			for i := range flat.Perm {
+				if got.Perm[i] != flat.Perm[i] {
+					t.Fatalf("perm[%d] = %d, want %d", i, got.Perm[i], flat.Perm[i])
+				}
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("round-tripped index fails validation: %v", err)
+			}
+			n := flat.N
+			for s := int32(0); s < n; s++ {
+				for u := int32(0); u < n; u++ {
+					if a, b := got.Distance(s, u), flat.Distance(s, u); a != b {
+						t.Fatalf("round-tripped Distance(%d,%d) = %d, want %d", s, u, a, b)
+					}
+				}
+			}
+			// The point of the format: meaningfully smaller than v2.
+			var v2 bytes.Buffer
+			if err := flat.Write(&v2); err != nil {
+				t.Fatal(err)
+			}
+			if flat.Entries() > 0 && buf.Len() >= v2.Len() {
+				t.Errorf("compact image (%d bytes) not smaller than flat image (%d bytes)", buf.Len(), v2.Len())
+			}
+		})
+	}
+}
+
+// TestParseCompactRejectsFlatMagic and vice versa: the two formats must
+// not be confusable, and feeding a compact image to the mmap/alias
+// reader must fail with the pointed redirect error.
+func TestCompactMagicConfusion(t *testing.T) {
+	g := compactShapes()[1].build(t)
+	flat := buildFlat(t, g)
+	var v2, v3 bytes.Buffer
+	if err := flat.Write(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.WriteCompact(&v3); err != nil {
+		t.Fatal(err)
+	}
+	if !label.IsCompactImage(v3.Bytes()) || label.IsCompactImage(v2.Bytes()) {
+		t.Fatal("IsCompactImage misclassifies an image")
+	}
+	if _, err := label.ParseCompact(v2.Bytes()); err == nil {
+		t.Fatal("ParseCompact accepted a v2 flat image")
+	}
+	if _, err := label.ParseFlat(v3.Bytes()); err == nil {
+		t.Fatal("ParseFlat accepted a v3 compact image")
+	}
+}

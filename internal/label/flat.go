@@ -13,9 +13,16 @@ import (
 // the slice-of-slices Index remains the mutable build-time form and is
 // frozen into a FlatIndex once construction finishes.
 //
-// A FlatIndex is immutable after Freeze/load. Its arrays may alias a
-// read-only memory-mapped file (see MmapFlat); writing through them is
-// undefined behaviour.
+// Concurrency contract: a FlatIndex is immutable after Freeze/load, and
+// every query method (Distance, DistanceRanked, Lookup) only reads, so
+// any number of goroutines may query one FlatIndex concurrently without
+// synchronization — this is what lets the batch path, the server's
+// worker pool, and the dynamic engine's epoch scheme share one index
+// pointer freely. The flip side: nothing may mutate a published
+// FlatIndex. Code that needs different labels (online updates) builds a
+// new FlatIndex and publishes it with an atomic pointer swap; the arrays
+// may also alias a read-only memory-mapped file (see MmapFlat), where a
+// write is not just a race but a SIGSEGV.
 type FlatIndex struct {
 	// Directed records whether Out and In are distinct label families.
 	Directed bool

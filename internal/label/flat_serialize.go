@@ -157,6 +157,11 @@ func ParseFlat(buf []byte) (*FlatIndex, error) {
 		return nil, fmt.Errorf("label: flat image truncated (%d bytes)", len(buf))
 	}
 	if string(buf[:4]) != flatMagic {
+		if IsCompactImage(buf) {
+			// The delta-coded v3 format must be decoded, never aliased,
+			// so it cannot serve the zero-copy/mmap path.
+			return nil, fmt.Errorf("label: %q is a compact (HDX3) image; decode it with ParseCompact (mmap is unavailable for compact files)", buf[:4])
+		}
 		return nil, fmt.Errorf("label: bad flat magic %q", buf[:4])
 	}
 	if buf[4] != flatVersion {

@@ -101,6 +101,52 @@ func FuzzParseFlat(f *testing.F) {
 	})
 }
 
+// FuzzParseCompact fuzzes the v3 delta-coded compact reader. Its counts
+// and gaps are attacker-controlled varints, so the contract under fuzz
+// is the usual one — clean error or invariant-satisfying index, never a
+// panic or a count-driven allocation — plus the format's own promise:
+// an accepted image decodes to labels whose size is bounded by the
+// input (every encoded entry costs at least 2 bytes).
+func FuzzParseCompact(f *testing.F) {
+	good := fuzzImage(f, func(x *label.Index, buf *bytes.Buffer) error {
+		return label.Freeze(x).WriteCompact(buf)
+	})
+	seedCorrupt(f, good)
+	// Varint-specific damage: a truncated multi-byte varint and an
+	// over-long gap in the middle of a row.
+	f.Add(mutate(good, func(b []byte) []byte { b[len(b)-1] |= 0x80; return b }))
+	f.Add(mutate(good, func(b []byte) []byte { b[len(b)/2] = 0xff; return b }))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		x, err := label.ParseCompact(b)
+		if err != nil {
+			return
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("accepted compact image fails validation: %v", err)
+		}
+		if x.Entries() > int64(len(b))/2 {
+			t.Fatalf("claims %d entries from %d input bytes", x.Entries(), len(b))
+		}
+		probe := []int32{-1, 0, 1, x.N - 1, x.N, x.N + 7}
+		for _, s := range probe {
+			for _, u := range probe {
+				x.Distance(s, u)
+			}
+		}
+		// An accepted image must also feed the packed kernel (when
+		// encodable) without divergence.
+		if c, ok := label.CompactFrom(x); ok {
+			for _, s := range probe {
+				for _, u := range probe {
+					if got, want := c.Distance(s, u), x.Distance(s, u); got != want {
+						t.Fatalf("compact kernel diverges at (%d,%d): %d vs %d", s, u, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadV1 fuzzes the legacy v1 stream reader, whose per-vertex counts
 // historically drove allocations: corrupt counts must fail against the
 // input size, never allocate first.

@@ -1011,6 +1011,7 @@ func (s *Server) statsFor(st *dsState) StatsResult {
 	res := StatsResult{
 		Dataset:       st.ds.Name(),
 		Backend:       string(bst.Backend),
+		Kernel:        string(bst.Kernel),
 		BitParallel:   bst.BitParallel,
 		Directed:      bst.Directed,
 		Vertices:      bst.Vertices,

@@ -51,11 +51,34 @@ const (
 	BackendRouter Backend = "router"
 )
 
+// Kernel identifies which merge kernel answers a backend's distance
+// queries, reported by Stats, /v1/stats, and hopdb-query so bench runs
+// and smoke tests can assert the intended fast path is actually engaged.
+type Kernel string
+
+// The built-in kernels.
+const (
+	// KernelScalar is the branchy merge-join over 8-byte CSR entries:
+	// the baseline every backend can always serve.
+	KernelScalar Kernel = "scalar"
+	// KernelCompact is the branch-free masked-compare intersection over
+	// quantized 4-byte packed keys (heap/mmap backends, when the labels
+	// fit the packed fields).
+	KernelCompact Kernel = "compact"
+	// KernelBitParallel is the bit-parallel hub acceleration (paper
+	// Section 6); it takes precedence over the other kernels when
+	// enabled.
+	KernelBitParallel Kernel = "bitparallel"
+)
+
 // QuerierStats describes a query backend: what serves the answers and how
 // big the index is. The root package aliases it as hopdb.QuerierStats.
 type QuerierStats struct {
 	// Backend is the implementation kind (heap, mmap, disk, remote).
 	Backend Backend
+	// Kernel is the merge kernel answering queries (scalar, compact,
+	// bitparallel); empty means scalar on backends predating the field.
+	Kernel Kernel
 	// Directed reports whether queries respect edge direction.
 	Directed bool
 	// Vertices is the number of indexed vertices.
@@ -110,6 +133,9 @@ type StatsResult struct {
 	Dataset string `json:"dataset,omitempty"`
 	// Backend is the serving backend kind (heap, mmap, disk, remote).
 	Backend string `json:"backend,omitempty"`
+	// Kernel is the merge kernel answering this dataset's queries
+	// (scalar, compact, bitparallel).
+	Kernel string `json:"kernel,omitempty"`
 	// BitParallel reports whether bit-parallel acceleration is active.
 	BitParallel bool `json:"bit_parallel,omitempty"`
 	// Directed reports whether queries respect edge direction.

@@ -27,6 +27,7 @@ type openConfig struct {
 	token     string
 	updates   bool
 	updateOpt UpdateOptions
+	compact   bool
 }
 
 // WithMmap memory-maps the index file (v2 flat format) instead of
@@ -43,6 +44,20 @@ func WithMmap() OpenOption {
 // with WithGraph or WithBitParallel is an error.
 func WithDisk(opt DiskOptions) OpenOption {
 	return func(c *openConfig) { c.disk = true; c.diskOpt = opt }
+}
+
+// WithCompactKernel packs the labels into the branch-free compact query
+// kernel after loading (EnableCompact), failing Open when the labels are
+// not encodable (a distance beyond 8 bits or more than ~16.7M vertices).
+// Heap-backed opens enable the kernel automatically when encodable, so
+// the option exists for two reasons: to make encodability a hard
+// requirement rather than a silent fallback, and to opt an mmap-backed
+// index in (the packed keys are heap arrays, so by default WithMmap
+// keeps the zero-copy scalar kernel). Incompatible with WithDisk,
+// WithRemote(s), and WithUpdates, which never query through the in-
+// process kernels.
+func WithCompactKernel() OpenOption {
+	return func(c *openConfig) { c.compact = true }
 }
 
 // WithGraph attaches the original graph to the opened index, enabling
@@ -134,7 +149,7 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 		if path != "" {
 			return nil, fmt.Errorf("hopdb: Open: path must be empty with WithRemote(s), got %q", path)
 		}
-		if cfg.mmap || cfg.disk || cfg.graph != nil || cfg.bp || cfg.updates {
+		if cfg.mmap || cfg.disk || cfg.graph != nil || cfg.bp || cfg.updates || cfg.compact {
 			return nil, fmt.Errorf("hopdb: Open: WithRemote(s) cannot be combined with local-backend options")
 		}
 		return client.NewMulti(cfg.remotes, client.Options{
@@ -149,6 +164,9 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 	if cfg.updates {
 		if cfg.mmap || cfg.disk {
 			return nil, fmt.Errorf("hopdb: Open: WithUpdates needs heap labels; it cannot be combined with WithMmap or WithDisk")
+		}
+		if cfg.compact {
+			return nil, fmt.Errorf("hopdb: Open: WithUpdates cannot be combined with WithCompactKernel (updates republish label epochs that the packed image would shadow)")
 		}
 		if cfg.bp {
 			return nil, fmt.Errorf("hopdb: Open: WithUpdates cannot be combined with WithBitParallel (the bit-parallel image would go stale)")
@@ -175,8 +193,8 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 		if cfg.mmap {
 			return nil, fmt.Errorf("hopdb: Open: WithDisk and WithMmap are mutually exclusive")
 		}
-		if cfg.graph != nil || cfg.bp {
-			return nil, fmt.Errorf("hopdb: Open: the disk backend answers distances only; WithGraph/WithBitParallel need an in-memory index")
+		if cfg.graph != nil || cfg.bp || cfg.compact {
+			return nil, fmt.Errorf("hopdb: Open: the disk backend answers distances only; WithGraph/WithBitParallel/WithCompactKernel need an in-memory index")
 		}
 		d, err := diskidx.Open(path, cfg.diskOpt)
 		if err != nil {
@@ -198,6 +216,20 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 	}
 	if cfg.graph != nil {
 		idx.AttachGraph(cfg.graph)
+	}
+	if cfg.compact {
+		// Explicit opt-in: encodability is a requirement, not a hint.
+		if err := idx.EnableCompact(); err != nil {
+			idx.Close()
+			return nil, err
+		}
+	} else if !cfg.mmap {
+		// Heap-backed opens get the packed kernel automatically when the
+		// labels are encodable; otherwise queries stay on the scalar
+		// kernel with identical answers. Mmap stays scalar by default:
+		// the packed keys are heap arrays, which would defeat the
+		// O(1)-allocation point of mapping the file.
+		_ = idx.EnableCompact()
 	}
 	if cfg.bp {
 		if err := idx.EnableBitParallel(cfg.bpRoots); err != nil {
@@ -264,6 +296,7 @@ func (q *diskQuerier) N() int32 { return q.d.N() }
 func (q *diskQuerier) Stats() QuerierStats {
 	return QuerierStats{
 		Backend:   BackendDisk,
+		Kernel:    KernelScalar,
 		Directed:  q.d.Directed(),
 		Vertices:  q.d.N(),
 		Entries:   q.d.Entries(),

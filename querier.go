@@ -29,6 +29,22 @@ const (
 // how big the index is.
 type QuerierStats = wire.QuerierStats
 
+// Kernel identifies which distance kernel answers an in-memory backend's
+// queries; see QuerierStats.
+type Kernel = wire.Kernel
+
+// The kernel kinds reported by QuerierStats.Kernel.
+const (
+	// KernelScalar is the portable merge-join over 8-byte label entries.
+	KernelScalar = wire.KernelScalar
+	// KernelCompact is the branch-free merge over packed 4-byte keys
+	// (EnableCompact / WithCompactKernel).
+	KernelCompact = wire.KernelCompact
+	// KernelBitParallel answers from the bit-parallel hub tuples
+	// (EnableBitParallel / WithBitParallel).
+	KernelBitParallel = wire.KernelBitParallel
+)
+
 // Querier is the backend-agnostic distance query contract. Every way of
 // holding a hop-doubling index — in heap memory (Build, Open), memory-
 // mapped (WithMmap), resident on disk (WithDisk), bit-parallel
@@ -116,14 +132,23 @@ func (x *Index) LookupBatchInto(results []uint32, pairs []QueryPair, workers int
 }
 
 // Stats describes the index for the Querier contract: heap- or mmap-
-// backed, with bit-parallel acceleration when enabled.
+// backed, and which kernel answers point queries (the same precedence
+// Distance uses: bit-parallel, then compact, then scalar).
 func (x *Index) Stats() QuerierStats {
 	backend := BackendHeap
 	if x.flat.Mapped() {
 		backend = BackendMmap
 	}
+	kernel := KernelScalar
+	if x.ck.Load() != nil {
+		kernel = KernelCompact
+	}
+	if x.bp.Load() != nil {
+		kernel = KernelBitParallel
+	}
 	return QuerierStats{
 		Backend:     backend,
+		Kernel:      kernel,
 		Directed:    x.flat.Directed,
 		Vertices:    x.flat.N,
 		Entries:     x.Entries(),

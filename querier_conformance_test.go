@@ -87,10 +87,12 @@ func confGraphs() []confGraph {
 	}
 }
 
-// confBackend is one opened backend under test plus its expected kind.
+// confBackend is one opened backend under test plus its expected kind
+// and (when non-empty) the kernel its Stats must report.
 type confBackend struct {
 	name    string
 	kind    hopdb.Backend
+	kernel  hopdb.Kernel
 	querier hopdb.Querier
 }
 
@@ -106,10 +108,14 @@ func openBackends(t *testing.T, g *hopdb.Graph, gc confGraph) []confBackend {
 	dir := t.TempDir()
 	idxPath := filepath.Join(dir, "conf.idx")
 	diskPath := filepath.Join(dir, "conf.didx")
+	compactPath := filepath.Join(dir, "conf.cidx")
 	if err := idx.Save(idxPath); err != nil {
 		t.Fatal(err)
 	}
 	if err := idx.SaveDiskIndex(diskPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SaveCompact(compactPath); err != nil {
 		t.Fatal(err)
 	}
 	// The server serves idx twice: as "default" (the flat /v1 routes)
@@ -122,24 +128,30 @@ func openBackends(t *testing.T, g *hopdb.Graph, gc confGraph) []confBackend {
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
-	open := func(name string, kind hopdb.Backend, path string, opts ...hopdb.OpenOption) confBackend {
+	open := func(name string, kind hopdb.Backend, kernel hopdb.Kernel, path string, opts ...hopdb.OpenOption) confBackend {
 		q, err := hopdb.Open(path, opts...)
 		if err != nil {
 			t.Fatalf("opening %s backend: %v", name, err)
 		}
 		t.Cleanup(func() { q.Close() })
-		return confBackend{name: name, kind: kind, querier: q}
+		return confBackend{name: name, kind: kind, kernel: kernel, querier: q}
 	}
+	// The conformance graphs are all encodable (small distances), so heap
+	// opens — including the one behind the remote server — auto-enable the
+	// compact kernel; mmap stays scalar unless opted in.
 	backends := []confBackend{
-		open("heap", hopdb.BackendHeap, idxPath),
-		open("mmap", hopdb.BackendMmap, idxPath, hopdb.WithMmap()),
-		open("disk", hopdb.BackendDisk, diskPath, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: 16})),
-		open("remote", hopdb.BackendRemote, "", hopdb.WithRemote(ts.URL)),
-		open("remote-dataset", hopdb.BackendRemote, "", hopdb.WithRemote(ts.URL), hopdb.WithDataset("conf")),
+		open("heap", hopdb.BackendHeap, hopdb.KernelCompact, idxPath),
+		open("mmap", hopdb.BackendMmap, hopdb.KernelScalar, idxPath, hopdb.WithMmap()),
+		open("mmap-compact", hopdb.BackendMmap, hopdb.KernelCompact, idxPath, hopdb.WithMmap(), hopdb.WithCompactKernel()),
+		open("compact-file", hopdb.BackendHeap, hopdb.KernelCompact, compactPath),
+		open("disk", hopdb.BackendDisk, hopdb.KernelScalar, diskPath, hopdb.WithDisk(hopdb.DiskOptions{CacheLabels: 16})),
+		open("remote", hopdb.BackendRemote, hopdb.KernelCompact, "", hopdb.WithRemote(ts.URL)),
+		open("remote-dataset", hopdb.BackendRemote, hopdb.KernelCompact, "", hopdb.WithRemote(ts.URL), hopdb.WithDataset("conf")),
 	}
 	if !gc.directed && !gc.weighted {
 		backends = append(backends,
-			open("bitparallel", hopdb.BackendHeap, idxPath, hopdb.WithGraph(g), hopdb.WithBitParallel(8)))
+			open("bitparallel", hopdb.BackendHeap, hopdb.KernelBitParallel, idxPath,
+				hopdb.WithGraph(g), hopdb.WithBitParallel(8)))
 	}
 	return backends
 }
@@ -185,6 +197,9 @@ func TestQuerierConformance(t *testing.T) {
 					}
 					if be.name == "bitparallel" && !st.BitParallel {
 						t.Error("Stats().BitParallel = false on the bit-parallel backend")
+					}
+					if be.kernel != "" && st.Kernel != be.kernel {
+						t.Errorf("Stats().Kernel = %q, want %q", st.Kernel, be.kernel)
 					}
 
 					// Every backend also exposes the error-reporting

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# doclint: every shippable package must carry a package comment.
+#
+# The package comment is the one-paragraph contract a reader gets from
+# `go doc` before any identifier — packages without one force readers to
+# reverse-engineer intent from code. This gate covers the root package
+# and everything under internal/ (test-only files excluded); cmd/ mains
+# and the public client are linted too since they ship.
+# Run from anywhere; CI runs it in the lint job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# has_pkg_comment FILE: true when FILE opens with a doc comment attached
+# to its package clause (comment block immediately above `package X`,
+# no blank line between; //go:build lines don't count).
+has_pkg_comment() {
+  awk '
+    /^package /   { exit found ? 0 : 1 }
+    /^\/\/go:build/ { next }
+    /^\/\*/       { found = 1; next }
+    /^\/\//       { found = 1; next }
+    /^$/          { found = 0 }
+                  { found = 0 }
+  ' "$1"
+}
+
+missing=""
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  rel=${dir#"$PWD"}
+  rel=${rel#/}
+  [ -n "$rel" ] || rel=.
+  found=""
+  for f in "$dir"/*.go; do
+    [ -e "$f" ] || continue
+    case "$f" in *_test.go) continue ;; esac
+    if has_pkg_comment "$f"; then
+      found=1
+      break
+    fi
+  done
+  [ -n "$found" ] || missing="$missing $rel"
+done
+
+if [ -n "$missing" ]; then
+  echo "doclint: packages missing a package comment:" >&2
+  for p in $missing; do echo "  $p" >&2; done
+  exit 1
+fi
+echo "doclint OK: every package documents itself"

@@ -58,7 +58,10 @@ echo "== querying the same pairs through hopdb-query and the server"
 awk 'BEGIN { for (i = 0; i < 60; i++) print (i * 37) % 500, (i * 91 + 13) % 500; print 3, 3; print 0, 9999 }' >"$tmp/pairs.txt"
 # Exit 1 just flags that some pair was unreachable (0 9999 is); any other
 # nonzero status is a real failure.
-"$tmp/bin/hopdb-query" -idx "$tmp/g.idx" -q "$tmp/pairs.txt" >"$tmp/cli.txt" || [ $? -eq 1 ]
+"$tmp/bin/hopdb-query" -idx "$tmp/g.idx" -q "$tmp/pairs.txt" >"$tmp/cli.txt" 2>"$tmp/cli.err" || [ $? -eq 1 ]
+# A heap-opened unweighted index must auto-engage the compact kernel;
+# the summary line names the kernel that actually served.
+grep -q 'kernel=compact' "$tmp/cli.err" || { echo "hopdb-query did not engage the compact kernel: $(cat "$tmp/cli.err")" >&2; exit 1; }
 
 # hopdb-query prints "s t d" or "s t unreachable"; render the JSON the
 # server documents for the same answers.
@@ -84,7 +87,9 @@ curl -fsS -X POST --data-binary @"$tmp/batch.json" "$BASE/v1/batch" >"$tmp/serve
 diff -u "$tmp/expected_batch.json" "$tmp/served_batch.json" || { echo "/v1/batch answers diverge from hopdb-query" >&2; exit 1; }
 
 echo "== checking /v1/stats and oversized-batch rejection"
-curl -fsS "$BASE/v1/stats" | grep -q '"backend":"heap"' || { echo "/v1/stats missing backend kind" >&2; exit 1; }
+curl -fsS "$BASE/v1/stats" >"$tmp/stats.json"
+grep -q '"backend":"heap"' "$tmp/stats.json" || { echo "/v1/stats missing backend kind" >&2; exit 1; }
+grep -q '"kernel":"compact"' "$tmp/stats.json" || { echo "/v1/stats shows the fast kernel disengaged: $(cat "$tmp/stats.json")" >&2; exit 1; }
 code=$(awk 'BEGIN { printf("["); for (i = 0; i < 10001; i++) printf("%s[1,2]", i ? "," : ""); printf("]") }' \
   | curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @- "$BASE/v1/batch")
 [ "$code" = "413" ] || { echo "oversized batch returned $code, want 413" >&2; exit 1; }

@@ -169,6 +169,7 @@ func (q *dynQuerier) Stats() QuerierStats {
 	f := q.d.Current()
 	return QuerierStats{
 		Backend:   BackendDynamic,
+		Kernel:    KernelScalar,
 		Directed:  f.Directed,
 		Vertices:  f.N,
 		Entries:   f.Entries(),
