@@ -131,10 +131,16 @@ type Stats = core.BuildStats
 // concurrent Path or EnableBitParallel call, since the graph pointer
 // itself is not synchronized.
 type Index struct {
-	flat *label.FlatIndex                   // query-serving CSR labels
-	g    *Graph                             // retained for Path; may be nil after Load
-	bp   atomic.Pointer[bitparallel.Index]  // optional bit-parallel acceleration
-	ck   atomic.Pointer[label.CompactIndex] // optional branch-free packed kernel
+	flat *label.FlatIndex // query-serving CSR labels
+	g    *Graph           // retained for Path; may be nil after Load
+	// bp is the optional bit-parallel acceleration, published by a
+	// single swap once built.
+	//hopdb:atomic
+	bp atomic.Pointer[bitparallel.Index]
+	// ck is the optional branch-free packed kernel, published the same
+	// way.
+	//hopdb:atomic
+	ck atomic.Pointer[label.CompactIndex]
 
 	// labels is a lazily built read-only view aliasing flat's arrays,
 	// materialized only for tooling that wants the nested form; building

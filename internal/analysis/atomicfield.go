@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicMarker annotates struct fields that participate in the
+// publish-by-atomic-swap protocol: the bit-parallel and compact kernel
+// pointers on hopdb.Index, the dynamic engine's current-epoch pointer,
+// and the registry's copy-on-write dataset map. Readers of these fields
+// must never block or observe a torn value, which holds only if every
+// access goes through sync/atomic.
+const atomicMarker = "//hopdb:atomic"
+
+// Atomicfield reports direct (non-atomic) accesses to fields marked
+// //hopdb:atomic.
+//
+// A marked field may be touched in exactly two ways: calling a method
+// on it when its type comes from sync/atomic (x.bp.Load(),
+// r.m.Store(&next)), or passing its address straight into a sync/atomic
+// function (atomic.AddInt64(&x.n, 1)). Anything else — a plain read, a
+// plain store, copying the field, or letting its address escape — is a
+// data race against the lock-free readers the field exists to serve,
+// and is reported. Composite-literal initialization is exempt: a value
+// under construction is unpublished by definition.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc: "enforce that //hopdb:atomic fields are only accessed through sync/atomic " +
+		"(epoch pointers and copy-on-write maps are published by a single atomic swap; " +
+		"a direct load or store reintroduces the torn reads the protocol exists to prevent)",
+	Run: runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	marked := annotatedFields(pass, atomicMarker)
+	if len(marked) == 0 {
+		return nil
+	}
+	inspect(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := selectedField(pass, sel)
+		if field == nil || !marked[field] {
+			return true
+		}
+		if atomicAccessOK(pass, field, stack) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is marked %s; access it only through sync/atomic operations, not directly",
+			field.Name(), atomicMarker)
+		return true
+	})
+	return nil
+}
+
+// atomicAccessOK reports whether the marked-field selector whose
+// ancestors are stack is one of the two permitted access shapes.
+func atomicAccessOK(pass *Pass, field *types.Var, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load(): method call on a sync/atomic-typed field. The
+		// selection must itself be the callee of a call.
+		if !isAtomicType(field.Type()) {
+			return false
+		}
+		if m, ok := pass.TypesInfo.Selections[p]; !ok || m.Kind() != types.MethodVal {
+			return false
+		}
+		if len(stack) < 2 {
+			return false
+		}
+		call, ok := stack[len(stack)-2].(*ast.CallExpr)
+		return ok && call.Fun == p
+	case *ast.UnaryExpr:
+		// &x.f handed directly to a sync/atomic function.
+		if p.Op != token.AND || len(stack) < 2 {
+			return false
+		}
+		call, ok := stack[len(stack)-2].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		callee := calleeOf(pass, call)
+		return callee != nil && pkgPathOf(callee) == "sync/atomic"
+	}
+	return false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's struct types
+// (atomic.Pointer[T], atomic.Int64, ...).
+func isAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && pkgPathOf(n.Obj()) == "sync/atomic"
+}

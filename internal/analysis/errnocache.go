@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sentinelConsts are the "unreachable" sentinels a failed query must
+// never be folded into. hopdb.Infinity re-declares graph.Infinity, so
+// both spellings are listed.
+var sentinelConsts = []TypeRef{
+	{"repro/internal/graph", "Infinity"},
+	{"repro", "Infinity"},
+}
+
+// cacheSinks are the cache-insertion methods a failed query's answer
+// must never reach (a cached failure would be served as a durable
+// "unreachable" long after the backend recovers).
+var cacheSinks = []MethodRef{
+	{"repro/internal/lru", "Cache", "Put"},
+	{"repro/internal/server", "distCache", "put"},
+	{"repro/internal/diskidx", "lruCache", "put"},
+}
+
+// Errnocache reports error paths that swallow a backend failure: code
+// in a branch where an error is known non-nil that either returns the
+// unreachable sentinel without also propagating the error, or inserts
+// anything into a distance/label cache.
+//
+// The invariant (PR 3): fallible backends — disk, remote — report
+// failures through Lookuper/LookupBatcher so callers can distinguish
+// "t is unreachable" from "the answer could not be computed". Folding
+// an I/O or transport error into Infinity turns a transient fault into
+// a wrong answer; caching it makes the wrong answer durable. The
+// analyzer recognizes `if err != nil` / `if err == nil` branches (for
+// any error-typed operand) and checks the failing side.
+var Errnocache = &Analyzer{
+	Name: "errnocache",
+	Doc: "forbid converting a query error into the unreachable sentinel (Infinity) or " +
+		"inserting into an LRU/distance cache on an error path; failures must propagate " +
+		"so servers answer 502 instead of caching a bogus \"unreachable\"",
+	Run: runErrnocache,
+}
+
+func runErrnocache(pass *Pass) error {
+	inspect(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		errExpr, branch := errorBranch(pass, ifs)
+		if branch == nil {
+			return true
+		}
+		checkErrorBranch(pass, errExpr, branch)
+		return true
+	})
+	return nil
+}
+
+// errorBranch matches `if X != nil` / `if X == nil` for an error-typed
+// X and returns X plus the block that runs when X is non-nil.
+func errorBranch(pass *Pass, ifs *ast.IfStmt) (ast.Expr, *ast.BlockStmt) {
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	var errExpr ast.Expr
+	switch {
+	case isNil(pass, cond.Y) && isErrorType(pass, cond.X):
+		errExpr = cond.X
+	case isNil(pass, cond.X) && isErrorType(pass, cond.Y):
+		errExpr = cond.Y
+	default:
+		return nil, nil
+	}
+	switch cond.Op {
+	case token.NEQ:
+		return errExpr, ifs.Body
+	case token.EQL:
+		if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+			return errExpr, blk
+		}
+	}
+	return nil, nil
+}
+
+func isNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func isErrorType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+// checkErrorBranch scans the failing branch for the two violations.
+func checkErrorBranch(pass *Pass, errExpr ast.Expr, branch *ast.BlockStmt) {
+	errObj := exprObject(pass, errExpr)
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred/spawned closures run outside the branch's error context
+		case *ast.ReturnStmt:
+			usesSentinel := false
+			propagatesErr := false
+			for _, res := range n.Results {
+				if mentionsSentinel(pass, res) {
+					usesSentinel = true
+				}
+				if propagatesError(pass, res, errObj) {
+					propagatesErr = true
+				}
+			}
+			if usesSentinel && !propagatesErr {
+				pass.Reportf(n.Pos(),
+					"error path returns the unreachable sentinel without propagating the error: a transient failure must not masquerade as \"unreachable\"")
+			}
+		case *ast.CallExpr:
+			if sink, ok := isCacheSink(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"cache insertion %s on an error path: a failed query must never be cached (the failure would be served as durable truth)",
+					sink)
+			}
+		}
+		return true
+	})
+}
+
+// exprObject resolves an identifier-shaped expression to its object.
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+// mentionsSentinel reports whether the expression uses one of the
+// unreachable sentinel constants.
+func mentionsSentinel(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isConst := obj.(*types.Const); !isConst {
+			return true
+		}
+		for _, s := range sentinelConsts {
+			if obj.Name() == s.Name && pkgPathOf(obj) == s.Pkg {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// propagatesError reports whether the result expression carries the
+// error onward: it mentions the error value itself (directly or wrapped
+// in a call such as fmt.Errorf) or is any non-nil error-typed value.
+func propagatesError(pass *Pass, e ast.Expr, errObj types.Object) bool {
+	if errObj != nil {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == errObj {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return isErrorType(pass, e) && !isNil(pass, e)
+}
+
+// isCacheSink matches calls to the configured cache-insertion methods.
+func isCacheSink(pass *Pass, call *ast.CallExpr) (string, bool) {
+	callee := calleeOf(pass, call)
+	if callee == nil {
+		return "", false
+	}
+	recv := callee.Signature().Recv()
+	if recv == nil {
+		return "", false
+	}
+	rn := namedOf(recv.Type())
+	if rn == nil {
+		return "", false
+	}
+	for _, s := range cacheSinks {
+		if callee.Name() == s.Method && rn.Obj().Name() == s.Typ && pkgPathOf(callee) == s.Pkg {
+			return s.Typ + "." + s.Method, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hasMarker reports whether one of the comments in the given groups is
+// the exact directive marker (optionally followed by prose).
+func hasMarker(marker string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := c.Text
+			if text == marker || strings.HasPrefix(text, marker+" ") || strings.HasPrefix(text, marker+"\t") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// annotatedFields collects the struct fields whose declaration carries
+// the directive marker (in the field's doc comment or line comment),
+// keyed by their types.Var. Annotations are visible only inside the
+// declaring package — which is airtight for the unexported fields these
+// invariants guard, since no other package can touch them anyway.
+func annotatedFields(pass *Pass, marker string) map[*types.Var]bool {
+	fields := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !hasMarker(marker, f.Doc, f.Comment) {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						fields[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// selectedField returns the field a selector expression resolves to, or
+// nil when sel is not a field selection.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// calleeOf resolves a call expression to the function or method object
+// it invokes (nil for indirect calls through function values and for
+// builtins).
+func calleeOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package declaring obj, or ""
+// for universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// namedOf unwraps pointers and aliases down to the defined (or generic
+// origin) named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Origin()
+	}
+	return nil
+}
+
+// typeIs reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && pkgPathOf(obj) == pkgPath
+}
+
+// exprString renders a short source-like form of an expression for
+// diagnostics (best effort; falls back to the node type).
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	}
+	return "expression"
+}

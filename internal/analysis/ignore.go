@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+)
+
+// ignorePrefix is the opt-out annotation. Usage:
+//
+//	//hopdb:ignore <analyzer> <reason>
+//
+// on the offending line, or alone on the line directly above it. The
+// reason is mandatory: an exception that cannot say why it is safe is
+// not an exception, it is a suppressed bug report.
+const ignorePrefix = "//hopdb:ignore"
+
+// fileKey addresses one source line.
+type fileKey struct {
+	file string
+	line int
+}
+
+// ignoreFilter is a package's parsed ignore annotations plus the
+// diagnostics its malformed annotations generated.
+type ignoreFilter struct {
+	// suppressed maps a line to the analyzer names ignored there.
+	suppressed map[fileKey]map[string]bool
+	malformed  []Diagnostic
+}
+
+// collectIgnores parses every //hopdb:ignore annotation in pkg,
+// validating the analyzer name against the active set and requiring a
+// non-empty reason. Malformed annotations become diagnostics of the
+// pseudo-analyzer "ignore" so they fail hopdb-vet like any finding.
+func collectIgnores(pkg *Package, analyzers []*Analyzer) *ignoreFilter {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	f := &ignoreFilter{suppressed: map[fileKey]map[string]bool{}}
+	lines := map[string][]string{} // file -> source lines, lazily read
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				// An embedded // starts a trailing comment (the golden
+				// fixtures use it for want clauses); it is not reason
+				// text.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					f.malformed = append(f.malformed, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  `malformed //hopdb:ignore: want "//hopdb:ignore <analyzer> <reason>"`,
+					})
+					continue
+				case !known[fields[0]]:
+					f.malformed = append(f.malformed, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "//hopdb:ignore names unknown analyzer " + fields[0],
+					})
+					continue
+				case len(fields) < 2:
+					f.malformed = append(f.malformed, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "//hopdb:ignore " + fields[0] + " is missing its reason: every exception must document why it is safe",
+					})
+					continue
+				}
+				name := fields[0]
+				// The directive covers its own line; when it is the
+				// only thing on its line it annotates the next line
+				// (the statement below it) instead of trailing code.
+				cover := []int{pos.Line}
+				if startsLine(lines, pos.Filename, pos.Line, pos.Column) {
+					cover = append(cover, pos.Line+1)
+				}
+				for _, ln := range cover {
+					key := fileKey{pos.Filename, ln}
+					if f.suppressed[key] == nil {
+						f.suppressed[key] = map[string]bool{}
+					}
+					f.suppressed[key][name] = true
+				}
+			}
+		}
+	}
+	return f
+}
+
+// startsLine reports whether only whitespace precedes column col on the
+// given line, reading (and caching) the file's source text.
+func startsLine(cache map[string][]string, file string, line, col int) bool {
+	ls, ok := cache[file]
+	if !ok {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			cache[file] = nil
+			return false
+		}
+		ls = strings.Split(string(data), "\n")
+		cache[file] = ls
+	}
+	if line-1 < 0 || line-1 >= len(ls) || col-1 > len(ls[line-1]) {
+		return false
+	}
+	return strings.TrimSpace(ls[line-1][:col-1]) == ""
+}
+
+// filter drops diagnostics a well-formed //hopdb:ignore covers.
+func (f *ignoreFilter) filter(raw []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range raw {
+		if m := f.suppressed[fileKey{d.Pos.Filename, d.Pos.Line}]; m != nil && m[d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

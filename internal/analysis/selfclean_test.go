@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestRepositoryClean runs the full hopdb-vet suite over the module
+// under both build configurations and requires zero findings: every
+// deliberate exception must carry a //hopdb:ignore with a reason.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := analysistest.ModuleRoot(t)
+	for _, tc := range []struct {
+		name string
+		tags []string
+	}{
+		{"default", nil},
+		{"hopdb_unsafe", []string{"hopdb_unsafe"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs, err := analysis.Load(root, tc.tags, "./...")
+			if err != nil {
+				t.Fatalf("loading module: %v", err)
+			}
+			diags, err := analysis.Run(pkgs, analysis.All)
+			if err != nil {
+				t.Fatalf("running analyzers: %v", err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+// Package atomicfield is the golden fixture for the atomicfield
+// analyzer: fields marked //hopdb:atomic may only be touched through
+// sync/atomic operations.
+package atomicfield
+
+import "sync/atomic"
+
+type epoch struct {
+	n int64
+}
+
+type index struct {
+	// cur is the published epoch pointer.
+	//hopdb:atomic
+	cur atomic.Pointer[epoch]
+	// gen counts rebuilds; updated with atomic.AddInt64.
+	//hopdb:atomic
+	gen int64
+	// plain is unannotated: direct access is fine.
+	plain int64
+}
+
+func good(x *index) *epoch {
+	atomic.AddInt64(&x.gen, 1)
+	x.plain++
+	return x.cur.Load()
+}
+
+func goodStore(x *index, e *epoch) {
+	x.cur.Store(e)
+	atomic.StoreInt64(&x.gen, 7)
+}
+
+func bad(x *index, y *index) {
+	e := x.cur.Load()
+	_ = e
+	x.gen++     // want "field gen is marked //hopdb:atomic"
+	p := &x.gen // want "field gen is marked //hopdb:atomic"
+	_ = p
+	y.gen = 3   // want "field gen is marked //hopdb:atomic"
+	c := &x.cur // want "field cur is marked //hopdb:atomic"
+	_ = c
+	_ = y.gen // want "field gen is marked //hopdb:atomic"
+}
+
+func suppressed(x *index) {
+	//hopdb:ignore atomicfield field is unpublished while the constructor runs
+	x.gen = 0
+	x.plain = 0
+}

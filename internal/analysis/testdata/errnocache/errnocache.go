@@ -1,0 +1,75 @@
+// Package errnocache is the golden fixture for the errnocache
+// analyzer: on a branch where an error is known non-nil, code must not
+// return the unreachable sentinel without the error and must not insert
+// into a cache.
+package errnocache
+
+import (
+	"fmt"
+
+	hopdb "repro"
+	"repro/internal/lru"
+)
+
+func lookup() (uint32, error) { return 0, nil }
+
+func sentinelBad() (uint32, error) {
+	d, err := lookup()
+	if err != nil {
+		return hopdb.Infinity, nil // want "error path returns the unreachable sentinel"
+	}
+	return d, nil
+}
+
+func sentinelElseBad() (uint32, error) {
+	d, err := lookup()
+	if err == nil {
+		return d, nil
+	} else {
+		return hopdb.Infinity, nil // want "error path returns the unreachable sentinel"
+	}
+}
+
+func propagateOK() (uint32, error) {
+	d, err := lookup()
+	if err != nil {
+		return hopdb.Infinity, fmt.Errorf("lookup failed: %w", err)
+	}
+	return d, nil
+}
+
+func bareErrOK() (uint32, error) {
+	d, err := lookup()
+	if err != nil {
+		return hopdb.Infinity, err
+	}
+	return d, nil
+}
+
+func cacheBad(c *lru.Cache[int64, uint32], key int64) uint32 {
+	d, err := lookup()
+	if err != nil {
+		c.Put(key, hopdb.Infinity) // want "cache insertion Cache.Put on an error path"
+		return hopdb.Infinity      // want "error path returns the unreachable sentinel"
+	}
+	c.Put(key, d)
+	return d
+}
+
+func successCacheOK(c *lru.Cache[int64, uint32], key int64) (uint32, error) {
+	d, err := lookup()
+	if err == nil {
+		c.Put(key, d)
+		return d, nil
+	}
+	return 0, err
+}
+
+func suppressed() (uint32, error) {
+	d, err := lookup()
+	if err != nil {
+		//hopdb:ignore errnocache this probe treats any failure as unreachable by design
+		return hopdb.Infinity, nil
+	}
+	return d, nil
+}

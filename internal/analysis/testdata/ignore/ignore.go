@@ -1,0 +1,32 @@
+// Package ignore is the golden fixture for //hopdb:ignore validation:
+// a well-formed annotation suppresses its line, while a reason-less or
+// unknown-analyzer annotation is itself a finding and suppresses
+// nothing.
+package ignore
+
+import "sync/atomic"
+
+type box struct {
+	//hopdb:atomic
+	n int64
+}
+
+func wellFormed(b *box) {
+	//hopdb:ignore atomicfield zeroing before the box is published
+	b.n = 0
+}
+
+func reasonless(b *box) int64 {
+	//hopdb:ignore atomicfield // want "missing its reason"
+	return b.n // want "field n is marked //hopdb:atomic"
+}
+
+func unknownAnalyzer(b *box) {
+	//hopdb:ignore nosuchanalyzer the name is wrong // want "names unknown analyzer nosuchanalyzer"
+	b.n = 2 // want "field n is marked //hopdb:atomic"
+}
+
+func empty(b *box) int64 {
+	//hopdb:ignore // want "malformed //hopdb:ignore"
+	return atomic.LoadInt64(&b.n)
+}

@@ -1,0 +1,87 @@
+// Package lockscope is the golden fixture for the lockscope analyzer:
+// no I/O, channel operation, or Querier call while a //hopdb:lockscope
+// mutex is held.
+package lockscope
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	hopdb "repro"
+)
+
+type guarded struct {
+	//hopdb:lockscope
+	mu sync.Mutex
+	// free is unannotated: anything may run under it.
+	free sync.Mutex
+	n    int
+}
+
+func computeOK(g *guarded) int {
+	g.mu.Lock()
+	g.n++
+	v := g.n
+	g.mu.Unlock()
+	_, _ = os.ReadFile("after-unlock")
+	return v
+}
+
+func unannotatedOK(g *guarded, f *os.File) {
+	g.free.Lock()
+	fmt.Fprintln(f, g.n)
+	g.free.Unlock()
+}
+
+func ioBad(g *guarded, f *os.File) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fmt.Fprintf(f, "n=%d\n", g.n) // want "I/O call fmt.Fprintf while holding mu"
+}
+
+func fileBad(g *guarded) {
+	g.mu.Lock()
+	_, _ = os.ReadFile("under-lock") // want "I/O call os.ReadFile while holding mu"
+	g.mu.Unlock()
+}
+
+func chanBad(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want "channel send while holding mu"
+	v := <-ch // want "channel receive while holding mu"
+	g.n = v
+	g.mu.Unlock()
+}
+
+func querierBad(g *guarded, idx *hopdb.Index, s, t int32) uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d, _ := idx.Distance(s, t) // want "Querier call idx.Distance while holding mu"
+	return d
+}
+
+func branchesOK(g *guarded, ch chan int, cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		ch <- 1
+		return
+	}
+	g.n++
+	g.mu.Unlock()
+	ch <- 2
+}
+
+func goroutineOK(g *guarded, ch chan int) {
+	g.mu.Lock()
+	go func() { ch <- 1 }()
+	g.mu.Unlock()
+}
+
+func suppressed(g *guarded, f *os.File) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//hopdb:ignore lockscope flushing inside the section keeps the audit log ordered
+	fmt.Fprintln(f, g.n)
+}

@@ -1,0 +1,13 @@
+//go:build hopdb_unsafe
+
+package unsafegate
+
+import "unsafe"
+
+func orphan(p *int32) uintptr { // want "has no portable sibling"
+	return uintptr(unsafe.Pointer(p))
+}
+
+func mismatched(a int32) int64 { // want "differs in signature"
+	return int64(a)
+}

@@ -1,0 +1,12 @@
+//go:build hopdb_unsafe
+
+// Package unsafegate is the golden fixture for the unsafegate analyzer:
+// unsafe-importing files need the hopdb_unsafe gate and a portable twin
+// with identical signatures.
+package unsafegate
+
+import "unsafe"
+
+func twinned(p *byte, n int) []byte {
+	return unsafe.Slice(p, n)
+}

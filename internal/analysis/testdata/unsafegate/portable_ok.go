@@ -1,0 +1,12 @@
+//go:build !hopdb_unsafe
+
+// Package unsafegate is the golden fixture for the unsafegate analyzer.
+package unsafegate
+
+func twinned(p *byte, n int) []byte {
+	out := make([]byte, n)
+	_ = p
+	return out
+}
+
+func mismatched(a int64) int64 { return a }

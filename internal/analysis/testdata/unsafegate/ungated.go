@@ -1,0 +1,7 @@
+package unsafegate // want "imports unsafe without an approved build gate"
+
+import "unsafe"
+
+func addr(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p))
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strconv"
+)
+
+// approvedUnsafeTags are the build tags that may gate a file importing
+// unsafe. The repository's rule (established with the compact kernel in
+// PR 7, mirroring the bit-parallel gating): unsafe code is opt-in at
+// build time, never in the default build.
+var approvedUnsafeTags = []string{"hopdb_unsafe"}
+
+// Unsafegate reports files that import unsafe without the opt-in build
+// gate or without a portable twin.
+//
+// Two obligations per unsafe-importing file: (1) its //go:build
+// constraint must require an approved tag (hopdb_unsafe), so `go build
+// ./...` never silently includes it; (2) a sibling file in the same
+// package, selected when the tag is off, must declare every top-level
+// function the unsafe file declares with an identical signature — the
+// byte-identical portable twin that keeps the default build complete
+// and the conformance suites able to compare both kernels. Files
+// excluded by the current build configuration are checked too (via
+// Pass.IgnoredFiles), so the gate holds no matter which tag set
+// hopdb-vet runs under. The signature comparison is syntactic
+// (parameter and result types as written).
+var Unsafegate = &Analyzer{
+	Name: "unsafegate",
+	Doc: "require every unsafe-importing file to be gated behind an approved build tag " +
+		"(hopdb_unsafe) and to have a portable sibling declaring the same functions, " +
+		"so the default build never contains unsafe code and never misses a symbol",
+	Run: runUnsafegate,
+}
+
+// gateFile is one package source file, parsed without type information
+// (ignored files have none).
+type gateFile struct {
+	name string
+	ast  *ast.File
+	fset *token.FileSet
+}
+
+func runUnsafegate(pass *Pass) error {
+	var files []gateFile
+	for _, f := range pass.Files {
+		files = append(files, gateFile{name: pass.Fset.Position(f.Pos()).Filename, ast: f, fset: pass.Fset})
+	}
+	for _, path := range pass.IgnoredFiles {
+		f, err := parser.ParseFile(pass.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// An ignored file that does not parse cannot be audited;
+			// surface that rather than skipping it silently.
+			pass.Reportf(token.NoPos, "cannot parse ignored file %s: %v", path, err)
+			continue
+		}
+		files = append(files, gateFile{name: path, ast: f, fset: pass.Fset})
+	}
+
+	for _, gf := range files {
+		if !importsUnsafe(gf.ast) {
+			continue
+		}
+		tag, gated := gatingTag(gf.ast)
+		if !gated {
+			pass.Reportf(gf.ast.Name.Pos(),
+				"file imports unsafe without an approved build gate: add //go:build %s (and a portable sibling) so the default build stays memory-safe",
+				approvedUnsafeTags[0])
+			continue
+		}
+		checkPortableTwin(pass, gf, tag, files)
+	}
+	return nil
+}
+
+// importsUnsafe reports whether the file imports package unsafe.
+func importsUnsafe(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == "unsafe" {
+			return true
+		}
+	}
+	return false
+}
+
+// buildExpr returns the file's //go:build expression, or nil.
+func buildExpr(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return nil
+				}
+				return expr
+			}
+		}
+	}
+	return nil
+}
+
+// gatingTag returns the approved tag the file's build constraint
+// requires: included when the tag is on, excluded when it is off.
+func gatingTag(f *ast.File) (string, bool) {
+	expr := buildExpr(f)
+	if expr == nil {
+		return "", false
+	}
+	for _, tag := range approvedUnsafeTags {
+		on := expr.Eval(func(t string) bool { return t == tag || hostTag(t) })
+		off := expr.Eval(func(t string) bool { return t != tag && hostTag(t) })
+		if on && !off {
+			return tag, true
+		}
+	}
+	return "", false
+}
+
+// selectedWithoutTag reports whether the file is part of the package
+// when tag is off (the portable configuration).
+func selectedWithoutTag(f *ast.File, tag string) bool {
+	expr := buildExpr(f)
+	if expr == nil {
+		return true
+	}
+	return expr.Eval(func(t string) bool { return t != tag && hostTag(t) })
+}
+
+// hostTag answers platform tags for constraint evaluation.
+func hostTag(t string) bool {
+	for _, h := range hostTags() {
+		if t == h {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPortableTwin verifies that every top-level function the gated
+// file declares has a portable sibling with an identical signature.
+func checkPortableTwin(pass *Pass, gated gateFile, tag string, files []gateFile) {
+	portable := map[string]string{} // func name -> rendered signature
+	for _, other := range files {
+		if other.name == gated.name || !selectedWithoutTag(other.ast, tag) {
+			continue
+		}
+		for _, decl := range other.ast.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				portable[funcKey(fd)] = renderSignature(other.fset, fd)
+			}
+		}
+	}
+	for _, decl := range gated.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		want := renderSignature(gated.fset, fd)
+		got, ok := portable[funcKey(fd)]
+		if !ok {
+			pass.Reportf(fd.Name.Pos(),
+				"unsafe-gated function %s has no portable sibling: the default (!%s) build must export the same symbols",
+				fd.Name.Name, tag)
+			continue
+		}
+		if got != want {
+			pass.Reportf(fd.Name.Pos(),
+				"portable sibling of %s differs in signature: gated %s vs portable %s — the twins must be interchangeable",
+				fd.Name.Name, want, got)
+		}
+	}
+}
+
+// funcKey identifies a function declaration by receiver type and name,
+// so methods on different types do not collide.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), fd.Recv.List[0].Type)
+	return "(" + buf.String() + ")." + fd.Name.Name
+}
+
+// renderSignature renders parameter and result types (names elided, so
+// twins may name arguments differently).
+func renderSignature(fset *token.FileSet, fd *ast.FuncDecl) string {
+	render := func(fl *ast.FieldList) string {
+		if fl == nil {
+			return ""
+		}
+		var parts []string
+		for _, f := range fl.List {
+			var buf bytes.Buffer
+			printer.Fprint(&buf, fset, f.Type)
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				parts = append(parts, buf.String())
+			}
+		}
+		out := ""
+		for i, p := range parts {
+			if i > 0 {
+				out += ", "
+			}
+			out += p
+		}
+		return out
+	}
+	return fmt.Sprintf("func(%s) (%s)", render(fd.Type.Params), render(fd.Type.Results))
+}

@@ -391,6 +391,7 @@ func (d *DiskIndex) loadLabel(out bool, v int32, sc *Scratch, slot int) ([]label
 		}
 	}
 	if d.cache != nil {
+		//hopdb:ignore noaliasretain when the cache is enabled l was decoded into a fresh slice above, never into scratch
 		d.cache.put(key, l)
 	}
 	return l, nil
@@ -430,6 +431,9 @@ func (d *DiskIndex) DistanceScratch(s, t int32, sc *Scratch) (uint32, error) {
 // concurrent queries (e.g. a batch sharded across workers, or a query
 // server).
 type lruCache struct {
+	// mu guards c on the per-query lookup path: every concurrent reader
+	// serializes here, so the section must stay a map touch.
+	//hopdb:lockscope
 	mu sync.Mutex
 	c  *lru.Cache[int64, []label.Entry]
 }

@@ -100,6 +100,9 @@ type Options struct {
 type Index struct {
 	mu  sync.Mutex
 	opt Options
+	// cur is the published epoch: readers Load it lock-free, the writer
+	// Stores a fresh immutable FlatIndex after each batch.
+	//hopdb:atomic
 	cur atomic.Pointer[label.FlatIndex]
 
 	workIdx   *label.Index // private mutable labels, rank space

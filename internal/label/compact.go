@@ -94,8 +94,9 @@ func CompactFrom(f *FlatIndex) (*CompactIndex, bool) {
 	c := &CompactIndex{
 		Directed: f.Directed,
 		N:        f.N,
-		Perm:     f.Perm,
-		entries:  f.Entries(),
+		//hopdb:ignore noaliasretain both indexes are immutable once published, so sharing the perm table is safe
+		Perm:    f.Perm,
+		entries: f.Entries(),
 	}
 	c.OutOffsets, c.OutKeys = packSide(f.OutOffsets, f.OutEntries)
 	if f.Directed {

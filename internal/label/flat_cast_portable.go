@@ -1,0 +1,34 @@
+//go:build !hopdb_unsafe
+
+package label
+
+// The portable twins of the hopdb_unsafe casts: no zero-copy views, so
+// writers take the encoding loop and readers decode into fresh slices.
+// Semantics are identical; the gated build is an opt-in optimization.
+
+func int32Bytes(p []int32) ([]byte, bool) { return nil, false }
+
+func int64Bytes(p []int64) ([]byte, bool) { return nil, false }
+
+func entryBytes(p []Entry) ([]byte, bool) { return nil, false }
+
+func castInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return decodeInt32s(b)
+}
+
+func castInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return decodeInt64s(b)
+}
+
+func castEntries(b []byte) []Entry {
+	if len(b) == 0 {
+		return nil
+	}
+	return decodeEntries(b)
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"unsafe"
 )
 
 // v2 flat index format (little endian, every section 8-byte aligned so a
@@ -25,8 +24,10 @@ import (
 //	 .  in entries if directed
 //
 // The label payload (offsets + entries) is the FlatIndex CSR arrays
-// verbatim, so on little-endian hosts ParseFlat returns views into the
-// input buffer with no per-vertex allocation at all.
+// verbatim, so on little-endian hosts the hopdb_unsafe build's ParseFlat
+// returns views into the input buffer with no per-vertex allocation at
+// all; the default build decodes into fresh slices (one allocation per
+// array, still no per-vertex slices).
 const (
 	flatMagic      = "HDX2"
 	flatVersion    = 2
@@ -37,17 +38,6 @@ const (
 	flagPerm     = 1 << 2
 	knownFlags   = flagDirected | flagWeighted | flagPerm
 )
-
-// Entry must stay exactly 8 bytes with no padding for the on-disk layout
-// and the zero-copy cast to be valid.
-var _ [8]byte = [unsafe.Sizeof(Entry{})]byte{}
-
-// hostLittleEndian reports whether in-memory integer layout matches the
-// file format; when false, loads fall back to an allocating decode.
-var hostLittleEndian = func() bool {
-	var x uint16 = 1
-	return *(*byte)(unsafe.Pointer(&x)) == 1
-}()
 
 // Write serializes the flat index in the v2 format.
 func (f *FlatIndex) Write(w io.Writer) error {
@@ -72,10 +62,9 @@ func (f *FlatIndex) Write(w io.Writer) error {
 	}
 	var b8 [8]byte
 	if f.Perm != nil {
-		if hostLittleEndian && len(f.Perm) > 0 {
+		if raw, ok := int32Bytes(f.Perm); ok {
 			// In-memory layout matches the format: emit the section in
 			// one write (bufio passes large writes straight through).
-			raw := unsafe.Slice((*byte)(unsafe.Pointer(&f.Perm[0])), len(f.Perm)*4)
 			if _, err := bw.Write(raw); err != nil {
 				return err
 			}
@@ -95,8 +84,7 @@ func (f *FlatIndex) Write(w io.Writer) error {
 		}
 	}
 	writeOffsets := func(offsets []int64) error {
-		if hostLittleEndian && len(offsets) > 0 {
-			raw := unsafe.Slice((*byte)(unsafe.Pointer(&offsets[0])), len(offsets)*8)
+		if raw, ok := int64Bytes(offsets); ok {
 			_, err := bw.Write(raw)
 			return err
 		}
@@ -109,8 +97,7 @@ func (f *FlatIndex) Write(w io.Writer) error {
 		return nil
 	}
 	writeEntries := func(entries []Entry) error {
-		if hostLittleEndian && len(entries) > 0 {
-			raw := unsafe.Slice((*byte)(unsafe.Pointer(&entries[0])), len(entries)*8)
+		if raw, ok := entryBytes(entries); ok {
 			_, err := bw.Write(raw)
 			return err
 		}
@@ -148,10 +135,11 @@ func IsFlatImage(buf []byte) bool {
 }
 
 // ParseFlat interprets buf as a v2 flat index image. On little-endian
-// hosts the returned index's offset and entry arrays are views into buf
-// (O(1) allocations, no copying); buf must stay alive and unmodified for
-// the index's lifetime. The offset tables are validated so a corrupt image
-// fails here rather than faulting at query time.
+// hosts the hopdb_unsafe build returns an index whose offset and entry
+// arrays are views into buf (O(1) allocations, no copying), so buf must
+// stay alive and unmodified for the index's lifetime; the default build
+// decodes each array into a fresh slice. The offset tables are validated
+// so a corrupt image fails here rather than faulting at query time.
 func ParseFlat(buf []byte) (*FlatIndex, error) {
 	if len(buf) < flatHeaderSize {
 		return nil, fmt.Errorf("label: flat image truncated (%d bytes)", len(buf))
@@ -274,15 +262,10 @@ func LoadFlatFile(path string) (*FlatIndex, error) {
 	return ParseFlat(buf)
 }
 
-// castInt32s reinterprets little-endian bytes as []int32, copying only
-// when the host byte order or alignment rules out the zero-copy view.
-func castInt32s(b []byte) []int32 {
-	if len(b) == 0 {
-		return nil
-	}
-	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(int32(0)) == 0 {
-		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
-	}
+// decodeInt32s is the allocating little-endian decode shared by both
+// cast twins (the hopdb_unsafe build reaches it only when byte order or
+// alignment rules out the zero-copy view).
+func decodeInt32s(b []byte) []int32 {
 	out := make([]int32, len(b)/4)
 	for i := range out {
 		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
@@ -290,13 +273,7 @@ func castInt32s(b []byte) []int32 {
 	return out
 }
 
-func castInt64s(b []byte) []int64 {
-	if len(b) == 0 {
-		return nil
-	}
-	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(int64(0)) == 0 {
-		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
-	}
+func decodeInt64s(b []byte) []int64 {
 	out := make([]int64, len(b)/8)
 	for i := range out {
 		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
@@ -304,13 +281,7 @@ func castInt64s(b []byte) []int64 {
 	return out
 }
 
-func castEntries(b []byte) []Entry {
-	if len(b) == 0 {
-		return nil
-	}
-	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(Entry{}) == 0 {
-		return unsafe.Slice((*Entry)(unsafe.Pointer(&b[0])), len(b)/8)
-	}
+func decodeEntries(b []byte) []Entry {
 	out := make([]Entry, len(b)/8)
 	for i := range out {
 		out[i].Pivot = int32(binary.LittleEndian.Uint32(b[i*8:]))

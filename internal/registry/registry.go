@@ -91,8 +91,13 @@ func (d *Dataset) Release() {
 // New. Reads (Acquire, Names, Snapshot) are lock-free; mutations
 // (Attach, Detach) serialize on a mutex and publish a fresh map.
 type Registry struct {
-	mu sync.Mutex                          // serializes Attach/Detach
-	m  atomic.Pointer[map[string]*Dataset] // copy-on-write; never mutated in place
+	// mu serializes Attach/Detach; queries never take it, so the
+	// critical sections must stay computational.
+	//hopdb:lockscope
+	mu sync.Mutex
+	// m is the copy-on-write dataset map; never mutated in place.
+	//hopdb:atomic
+	m atomic.Pointer[map[string]*Dataset]
 }
 
 // New returns an empty registry.

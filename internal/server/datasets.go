@@ -34,9 +34,12 @@ type dsState struct {
 
 	cache    *distCache // nil when disabled
 	cacheSeq atomic.Int64
-	adminMu  sync.Mutex // serializes admin mutations (one writer at a time)
-	queries  atomic.Int64
-	lat      metrics.Latency
+	// adminMu serializes admin mutations (one writer at a time); reads
+	// never take it.
+	//hopdb:lockscope
+	adminMu sync.Mutex
+	queries atomic.Int64
+	lat     metrics.Latency
 }
 
 func newDsState(d *registry.Dataset, cfg Config) *dsState {

@@ -831,6 +831,9 @@ func (s *Server) handleAdminEdges(st *dsState, w http.ResponseWriter, r *http.Re
 	}
 
 	st.adminMu.Lock()
+	// adminMu exists to serialize exactly this mutation; queries never
+	// take it, so holding it across the update stalls only other admins.
+	//hopdb:ignore lockscope the update IS the critical section and readers never contend on adminMu
 	applied, err := hopdb.ApplyEdgeOps(st.updater, ops)
 	st.adminMu.Unlock()
 	if applied > 0 && st.cache != nil {
