@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -620,6 +621,35 @@ func BenchmarkLandmarkOracle(b *testing.B) {
 			hop.Distance(p[0], p[1])
 		}
 	})
+}
+
+// BenchmarkBuildRanked is the build-speed gate: in-memory construction
+// of the 30k-vertex GLP acceptance graph, serial and with all cores
+// (the ranking is done once outside the timed loop, so the number is
+// pure label construction). The benchcmp gate protects these timings
+// the same way it protects query latency; the parallel/serial ratio is
+// the acceptance metric for the multi-core pipeline (>= 2x on a
+// multi-core runner).
+func BenchmarkBuildRanked(b *testing.B) {
+	g, err := gen.GLP(gen.DefaultGLP(int32(60000*benchScale), 4, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranked, _, err := order.Apply(g, order.ByDegree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.BuildRanked(ranked, core.Options{Method: core.Hybrid, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(runtime.GOMAXPROCS(0)))
 }
 
 // BenchmarkParallelBuild measures the parallel in-memory builder against

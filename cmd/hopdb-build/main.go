@@ -5,34 +5,42 @@
 // Usage:
 //
 //	hopdb-build -in graph.txt -o graph.idx
+//	hopdb-build -in graph.txt -j 8 -o graph.idx       # 8-way parallel build
 //	hopdb-build -in graph.txt -compact -o graph.idx   # delta-coded v3 image
 //	hopdb-build -in web.txt -directed -method hybrid -external -o web.idx
+//	hopdb-build -in big.txt -checkpoint ck/ -o big.idx          # killable
+//	hopdb-build -in big.txt -checkpoint ck/ -resume -o big.idx  # continue
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	hopdb "repro"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input edge list (required)")
-		out      = flag.String("o", "", "output index file (loadable format)")
-		disk     = flag.String("disk", "", "output disk-query index file")
-		directed = flag.Bool("directed", false, "treat edges as directed")
-		weighted = flag.Bool("weighted", false, "read third column as weight")
-		method   = flag.String("method", "hybrid", "construction method: hybrid | doubling | stepping")
-		sw       = flag.Int("switch", 10, "hybrid switch iteration")
-		external = flag.Bool("external", false, "use the disk-based I/O-efficient builder")
-		memory   = flag.Int("memory", 1<<20, "external memory budget in records")
-		block    = flag.Int("block", 341, "external block size in records")
-		tmp      = flag.String("tmp", "", "external builder temp dir")
-		noPrune  = flag.Bool("no-pruning", false, "disable label pruning (ablation)")
-		stats    = flag.Bool("stats", false, "print per-iteration statistics")
-		compact  = flag.Bool("compact", false, "write -o in the compact (v3, delta-coded) format; smaller but not mmap-able")
+		in         = flag.String("in", "", "input edge list (required)")
+		out        = flag.String("o", "", "output index file (loadable format)")
+		disk       = flag.String("disk", "", "output disk-query index file")
+		directed   = flag.Bool("directed", false, "treat edges as directed")
+		weighted   = flag.Bool("weighted", false, "read third column as weight")
+		method     = flag.String("method", "hybrid", "construction method: hybrid | doubling | stepping")
+		sw         = flag.Int("switch", 10, "hybrid switch iteration")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel build workers (in-memory builder; <= 1 builds serially)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory: persist build state after every iteration")
+		resume     = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint instead of starting fresh")
+		external   = flag.Bool("external", false, "use the disk-based I/O-efficient builder")
+		memory     = flag.Int("memory", 1<<20, "external memory budget in records")
+		block      = flag.Int("block", 341, "external block size in records")
+		tmp        = flag.String("tmp", "", "external builder temp dir")
+		noPrune    = flag.Bool("no-pruning", false, "disable label pruning (ablation)")
+		stats      = flag.Bool("stats", false, "print per-iteration statistics")
+		compact    = flag.Bool("compact", false, "write -o in the compact (v3, delta-coded) format; smaller but not mmap-able")
 	)
 	flag.Parse()
 	if *in == "" || (*out == "" && *disk == "") {
@@ -45,6 +53,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *external {
+		// The external builder is serial and uncheckpointed by design;
+		// an explicit -j (the default is fine) or any checkpoint flag is
+		// a contradiction, not a preference to ignore.
+		jSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "j" {
+				jSet = true
+			}
+		})
+		if jSet {
+			fail(fmt.Errorf("-external is in-memory-only for parallelism; drop -j or the -external flag"))
+		}
+		if *checkpoint != "" || *resume {
+			fail(fmt.Errorf("-checkpoint/-resume apply to the in-memory builder only; drop them or the -external flag"))
+		}
+		*jobs = 1
+	}
+	if *resume && *checkpoint == "" {
+		fail(fmt.Errorf("-resume requires -checkpoint"))
+	}
 	g, err := hopdb.LoadEdgeList(*in, *directed, *weighted)
 	if err != nil {
 		fail(err)
@@ -54,6 +83,9 @@ func main() {
 	opt := hopdb.Options{
 		SwitchIteration: *sw,
 		DisablePruning:  *noPrune,
+		Parallelism:     *jobs,
+		CheckpointDir:   *checkpoint,
+		Resume:          *resume,
 		External:        *external,
 		MemoryBudget:    *memory,
 		BlockSize:       *block,
@@ -71,15 +103,29 @@ func main() {
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
 	idx, st, err := hopdb.Build(g, opt)
+	if errors.Is(err, hopdb.ErrNoCheckpoint) {
+		// Nothing checkpointed yet (e.g. killed before the first
+		// iteration finished): fall back to a fresh build rather than
+		// making the caller re-invoke without -resume.
+		fmt.Fprintf(os.Stderr, "hopdb-build: %v; starting fresh\n", err)
+		opt.Resume = false
+		idx, st, err = hopdb.Build(g, opt)
+	}
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "built: method=%v iterations=%d entries=%d avg|label|=%.1f size=%.2fMB time=%v\n",
-		st.Method, st.Iterations, st.Entries, idx.AvgLabel(), float64(idx.SizeBytes())/(1<<20), st.Duration)
+	fmt.Fprintf(os.Stderr, "built: method=%v iterations=%d workers=%d entries=%d avg|label|=%.1f size=%.2fMB time=%v\n",
+		st.Method, st.Iterations, st.Workers, st.Entries, idx.AvgLabel(), float64(idx.SizeBytes())/(1<<20), st.Duration)
+	if st.ResumedFrom > 0 {
+		fmt.Fprintf(os.Stderr, "resumed: iterations 1..%d restored from %s\n", st.ResumedFrom, *checkpoint)
+	}
 	if *external {
 		fmt.Fprintf(os.Stderr, "external I/O: %d block reads, %d block writes\n", st.ReadIOs, st.WriteIOs)
 	}
 	if *stats {
+		if st.Workers != *jobs {
+			fmt.Fprintf(os.Stderr, "workers: requested %d, effective %d (clamped to 2x GOMAXPROCS)\n", *jobs, st.Workers)
+		}
 		for _, it := range st.PerIteration {
 			mode := "double"
 			if it.Stepping {

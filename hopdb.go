@@ -97,8 +97,20 @@ type Options struct {
 	// CollectStats records per-iteration statistics in Stats.
 	CollectStats bool
 	// Parallelism shards in-memory construction across goroutines;
-	// <= 1 runs serially. Results are identical either way.
+	// <= 1 runs serially. Results are identical either way (the clamped
+	// effective value is reported in Stats.Workers).
 	Parallelism int
+	// CheckpointDir, when non-empty, makes the in-memory builder persist
+	// its full state to this directory after every completed iteration,
+	// so a killed build can be resumed with Resume instead of restarted.
+	// In-memory builder only (incompatible with External).
+	CheckpointDir string
+	// Resume continues a build from the checkpoint in CheckpointDir.
+	// The checkpoint must match the graph and the result-affecting
+	// options (ErrCheckpointMismatch otherwise; ErrNoCheckpoint when the
+	// directory holds none); the resumed index is byte-identical to an
+	// uninterrupted build.
+	Resume bool
 
 	// External selects the disk-based I/O-efficient builder.
 	External bool
@@ -161,9 +173,21 @@ func (x *Index) view() *label.Index {
 	return x.labels
 }
 
-// Build constructs an index for g.
-func Build(g *Graph, opt Options) (*Index, Stats, error) {
-	copt := core.Options{
+// Checkpoint errors, re-exported from the construction engine for
+// errors.Is.
+var (
+	// ErrNoCheckpoint is returned by a Resume build whose CheckpointDir
+	// holds no checkpoint manifest.
+	ErrNoCheckpoint = core.ErrNoCheckpoint
+	// ErrCheckpointMismatch is returned by a Resume build whose
+	// checkpoint was written for a different graph or different
+	// result-affecting options.
+	ErrCheckpointMismatch = core.ErrCheckpointMismatch
+)
+
+// coreOptions maps the public build options onto the engine's.
+func coreOptions(opt Options) core.Options {
+	return core.Options{
 		Method:          opt.Method,
 		SwitchIteration: opt.SwitchIteration,
 		Rank:            opt.Rank,
@@ -173,10 +197,17 @@ func Build(g *Graph, opt Options) (*Index, Stats, error) {
 		MaxIterations:   opt.MaxIterations,
 		CollectStats:    opt.CollectStats,
 		Parallelism:     opt.Parallelism,
+		CheckpointDir:   opt.CheckpointDir,
+		Resume:          opt.Resume,
 		MemoryBudget:    opt.MemoryBudget,
 		BlockSize:       opt.BlockSize,
 		TempDir:         opt.TempDir,
 	}
+}
+
+// Build constructs an index for g.
+func Build(g *Graph, opt Options) (*Index, Stats, error) {
+	copt := coreOptions(opt)
 	var (
 		x   *label.Index
 		st  core.BuildStats
@@ -190,7 +221,7 @@ func Build(g *Graph, opt Options) (*Index, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	idx := newIndex(label.Freeze(x), g)
+	idx := newIndex(label.FreezeParallel(x, opt.Parallelism), g)
 	// The packed kernel is auto-enabled whenever the labels are encodable;
 	// unencodable labels (a distance beyond 8 bits) keep the scalar kernel
 	// with identical answers.

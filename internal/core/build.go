@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,25 +21,11 @@ func Build(g *graph.Graph, opt Options) (*label.Index, BuildStats, error) {
 		return nil, BuildStats{}, fmt.Errorf("core: ranking failed: %w", err)
 	}
 
-	e := newEngine(ranked, opt)
-	e.initialize()
-	iters, err := e.run()
+	x, stats, err := runEngine(ranked, opt, start)
 	if err != nil {
 		return nil, BuildStats{}, err
 	}
-
-	x := e.index()
 	x.SetPerm(perm)
-
-	stats := BuildStats{
-		Method:          opt.Method,
-		Iterations:      iters,
-		Entries:         x.Entries(),
-		Duration:        time.Since(start),
-		PerIteration:    e.iters,
-		TotalCandidates: e.totalCandidates,
-		TotalPruned:     e.totalPruned,
-	}
 	return x, stats, nil
 }
 
@@ -65,17 +52,50 @@ func rankGraph(g *graph.Graph, opt Options) (*graph.Graph, []int32, error) {
 // equivalence harness.
 func BuildRanked(g *graph.Graph, opt Options) (*label.Index, BuildStats, error) {
 	opt = opt.withDefaults(g.Directed())
-	start := time.Now()
-	e := newEngine(g, opt)
-	e.initialize()
-	iters, err := e.run()
-	if err != nil {
-		return nil, BuildStats{}, err
+	return runEngine(g, opt, time.Now())
+}
+
+// runEngine drives the in-memory engine on an already-ranked graph,
+// handling checkpoint persistence and resume. Checkpoint hashes cover
+// the ranked graph, so they are ranking-sensitive even though ranking
+// happened earlier.
+func runEngine(g *graph.Graph, opt Options, start time.Time) (*label.Index, BuildStats, error) {
+	if opt.Resume && opt.CheckpointDir == "" {
+		return nil, BuildStats{}, errors.New("core: Options.Resume requires Options.CheckpointDir")
 	}
+	e := newEngine(g, opt)
+	var ck *checkpointer
+	if opt.CheckpointDir != "" {
+		ck = newCheckpointer(opt.CheckpointDir, g, opt)
+	}
+	startIter := 0
+	done := false
+	if opt.Resume {
+		m, err := ck.load(e)
+		if err != nil {
+			return nil, BuildStats{}, err
+		}
+		startIter, done = m.Iteration, m.Done
+	} else {
+		e.initialize()
+	}
+	e.ck = ck
+
+	iters := startIter
+	if !done {
+		var err error
+		iters, err = e.runFrom(startIter)
+		if err != nil {
+			return nil, BuildStats{}, err
+		}
+	}
+
 	x := e.index()
 	stats := BuildStats{
 		Method:          opt.Method,
 		Iterations:      iters,
+		Workers:         effectiveWorkers(opt.Parallelism),
+		ResumedFrom:     startIter,
 		Entries:         x.Entries(),
 		Duration:        time.Since(start),
 		PerIteration:    e.iters,

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/label"
+)
+
+// indexBytes serializes an index in the v2 flat format: the byte-level
+// identity the checkpoint and parallelism contracts promise.
+func indexBytes(t *testing.T, x *label.Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := label.Freeze(x).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointResumeEveryIteration is the kill-at-every-iteration
+// property test: for every iteration k of every method and shape, a
+// build stopped after iteration k (MaxIterations acts as the kill; the
+// checkpoint on disk is exactly what a SIGKILL would leave) and resumed
+// from its checkpoint must produce an index byte-identical to the
+// uninterrupted build — including when the resumed build runs with a
+// different parallelism than the killed one.
+func TestCheckpointResumeEveryIteration(t *testing.T) {
+	type shape struct {
+		directed bool
+		weighted bool
+	}
+	for _, sh := range []shape{{false, false}, {true, false}, {true, true}} {
+		g, err := gen.ER(60, 180, sh.directed, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.weighted {
+			g, err = gen.WithRandomWeights(g, 5, 22)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, m := range []Method{Hybrid, Doubling, Stepping} {
+			want, st, err := Build(g, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBytes := indexBytes(t, want)
+			for k := 1; k <= st.Iterations; k++ {
+				dir := t.TempDir()
+				if _, _, err := Build(g, Options{Method: m, MaxIterations: k, CheckpointDir: dir}); err != nil {
+					t.Fatalf("method=%v k=%d: checkpointed build: %v", m, k, err)
+				}
+				got, rst, err := Build(g, Options{Method: m, CheckpointDir: dir, Resume: true, Parallelism: 3})
+				if err != nil {
+					t.Fatalf("method=%v k=%d: resume: %v", m, k, err)
+				}
+				if !bytes.Equal(wantBytes, indexBytes(t, got)) {
+					t.Fatalf("directed=%v weighted=%v method=%v: resume after iteration %d is not byte-identical",
+						sh.directed, sh.weighted, m, k)
+				}
+				if rst.ResumedFrom == 0 {
+					t.Fatalf("method=%v k=%d: stats report a fresh build, want ResumedFrom > 0", m, k)
+				}
+				if rst.Iterations != st.Iterations {
+					t.Fatalf("method=%v k=%d: resumed build reports %d iterations, want %d",
+						m, k, rst.Iterations, st.Iterations)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeFromParallel covers the other direction: a
+// parallel build's checkpoint resumed serially.
+func TestCheckpointResumeFromParallel(t *testing.T) {
+	g, err := gen.GLP(gen.DefaultGLP(400, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, st, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := st.Iterations / 2
+	if k < 1 {
+		k = 1
+	}
+	dir := t.TempDir()
+	if _, _, err := Build(g, Options{MaxIterations: k, CheckpointDir: dir, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, rst, err := Build(g, Options{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(indexBytes(t, want), indexBytes(t, got)) {
+		t.Fatal("serial resume of a parallel checkpoint is not byte-identical")
+	}
+	if rst.ResumedFrom != k {
+		t.Errorf("ResumedFrom = %d, want %d", rst.ResumedFrom, k)
+	}
+}
+
+// TestCheckpointDoneResume: resuming a checkpoint of a finished build
+// returns the final index without running any iterations.
+func TestCheckpointDoneResume(t *testing.T) {
+	g, err := gen.ER(50, 150, false, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	want, st, err := Build(g, Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rst, err := Build(g, Options{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(indexBytes(t, want), indexBytes(t, got)) {
+		t.Fatal("resume of a done checkpoint is not byte-identical")
+	}
+	if rst.Iterations != st.Iterations || rst.ResumedFrom != st.Iterations {
+		t.Errorf("resumed stats = {it=%d from=%d}, want {it=%d from=%d}",
+			rst.Iterations, rst.ResumedFrom, st.Iterations, st.Iterations)
+	}
+}
+
+// TestCheckpointValidation pins the failure modes: missing checkpoint,
+// foreign options, foreign graph, corrupt manifest, misconfiguration.
+func TestCheckpointValidation(t *testing.T) {
+	g, err := gen.ER(40, 120, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(g, Options{Resume: true}); err == nil {
+		t.Error("Resume without CheckpointDir succeeded")
+	}
+	if _, _, err := Build(g, Options{CheckpointDir: t.TempDir(), Resume: true}); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("resume from empty dir = %v, want ErrNoCheckpoint", err)
+	}
+
+	dir := t.TempDir()
+	if _, _, err := Build(g, Options{CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Different result-affecting options.
+	if _, _, err := Build(g, Options{CheckpointDir: dir, Resume: true, DisablePruning: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume with different pruning = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, _, err := Build(g, Options{CheckpointDir: dir, Resume: true, Method: Stepping}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume with different method = %v, want ErrCheckpointMismatch", err)
+	}
+	// Irrelevant options must NOT invalidate the checkpoint.
+	if _, _, err := Build(g, Options{CheckpointDir: dir, Resume: true, Parallelism: 4, MaxIterations: 100}); err != nil {
+		t.Errorf("resume with different parallelism/cap failed: %v", err)
+	}
+	// Different graph.
+	g2, err := gen.ER(40, 120, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(g2, Options{CheckpointDir: dir, Resume: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume with different graph = %v, want ErrCheckpointMismatch", err)
+	}
+	// Corrupt manifest.
+	if err := os.WriteFile(filepath.Join(dir, ckManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(g, Options{CheckpointDir: dir, Resume: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume from corrupt manifest = %v, want ErrCheckpointMismatch", err)
+	}
+	// The external builder has no checkpoint support and must say so.
+	if _, _, err := BuildExternal(g, Options{CheckpointDir: t.TempDir()}); err == nil {
+		t.Error("BuildExternal with CheckpointDir succeeded")
+	}
+}
+
+// TestCheckpointCleansSuperseded: only the newest iteration's record
+// files remain after a build (plus the manifest).
+func TestCheckpointCleansSuperseded(t *testing.T) {
+	g, err := gen.ER(50, 150, true, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := Build(g, Options{CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directed: out, in, prevout, previn for one iteration + manifest.
+	if len(ents) != 5 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("checkpoint dir holds %d files %v, want 5 (one iteration + manifest)", len(ents), names)
+	}
+}

@@ -46,6 +46,15 @@ type engine struct {
 	candIn  []cand
 
 	ps *pruneScratch
+	// scratches are per-worker prune tables, allocated once per build
+	// (not per span per iteration) and reused by pruneParallel.
+	scratches []*pruneScratch
+	// sortBuf is the merge scratch of the parallel dedup sort; it trades
+	// backing arrays with candOut/candIn between iterations.
+	sortBuf []cand
+	// ck, when non-nil, persists the full engine state after every
+	// completed iteration.
+	ck *checkpointer
 
 	iters           []IterStats
 	totalCandidates int64
@@ -260,6 +269,7 @@ func pruneRange(cands []cand, same, opposite [][]label.Entry, ps *pruneScratch, 
 		for end < len(cands) && cands[end].owner == u {
 			end++
 		}
+		ps.resetIfNearOverflow()
 		ps.cur++
 		ps.dist[u] = 0
 		ps.ver[u] = ps.cur
@@ -318,11 +328,12 @@ func (e *engine) steppingIteration(i int) bool {
 	}
 }
 
-// run executes the iterative process to fixpoint and returns the number
-// of iterations performed. It fails only when the candidate budget is
-// exceeded.
-func (e *engine) run() (int, error) {
-	iter := 0
+// runFrom executes the iterative process from after completed iteration
+// start (0 for a fresh build) to fixpoint and returns the number of
+// iterations reached. It fails when the candidate budget is exceeded or
+// a checkpoint cannot be written.
+func (e *engine) runFrom(start int) (int, error) {
+	iter := start
 	for {
 		if e.opt.MaxIterations > 0 && iter >= e.opt.MaxIterations {
 			return iter, nil
@@ -344,8 +355,13 @@ func (e *engine) run() (int, error) {
 		}
 		raw := int64(len(e.candOut) + len(e.candIn))
 
-		outCands := dedup(e.candOut)
-		inCands := dedup(e.candIn)
+		// dedupCands may land the sorted result in the engine's merge
+		// scratch; reassigning the fields keeps candOut/candIn/sortBuf
+		// referring to three distinct arrays across iterations.
+		outCands := e.dedupCands(e.candOut)
+		e.candOut = outCands
+		inCands := e.dedupCands(e.candIn)
+		e.candIn = inCands
 		candidates := int64(len(outCands) + len(inCands))
 		if e.opt.MaxCandidates > 0 && candidates > e.opt.MaxCandidates {
 			return iter, fmt.Errorf("core: iteration %d produced %d candidates (budget %d): %w",
@@ -394,7 +410,13 @@ func (e *engine) run() (int, error) {
 				Duration:   time.Since(start),
 			})
 		}
-		if len(outCands) == 0 && len(inCands) == 0 {
+		done := len(outCands) == 0 && len(inCands) == 0
+		if e.ck != nil {
+			if err := e.ck.save(e, iter, done); err != nil {
+				return iter, fmt.Errorf("core: checkpoint after iteration %d: %w", iter, err)
+			}
+		}
+		if done {
 			return iter, nil
 		}
 	}

@@ -23,6 +23,9 @@ import (
 // sets as Build; the test suite enforces this equivalence.
 func BuildExternal(g *graph.Graph, opt Options) (*label.Index, BuildStats, error) {
 	opt = opt.withDefaults(g.Directed())
+	if opt.CheckpointDir != "" || opt.Resume {
+		return nil, BuildStats{}, fmt.Errorf("core: checkpointing is in-memory-builder only (CheckpointDir/Resume set on BuildExternal)")
+	}
 	start := time.Now()
 	ranked, perm, err := rankGraph(g, opt)
 	if err != nil {
@@ -57,6 +60,7 @@ func BuildExternal(g *graph.Graph, opt Options) (*label.Index, BuildStats, error
 	stats := BuildStats{
 		Method:          opt.Method,
 		Iterations:      iters,
+		Workers:         1, // the external builder is serial by design
 		Entries:         x.Entries(),
 		Duration:        time.Since(start),
 		PerIteration:    ex.iters,

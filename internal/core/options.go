@@ -81,11 +81,28 @@ type Options struct {
 	MaxCandidates int64
 	// CollectStats enables per-iteration statistics (Figure 10).
 	CollectStats bool
-	// Parallelism shards candidate generation and pruning across this
-	// many goroutines (in-memory builder only; an extension beyond the
-	// paper). Values <= 1 run serially. The parallel build produces
-	// exactly the same index as the serial build.
+	// Parallelism shards candidate generation, sorting/deduplication,
+	// and pruning across this many goroutines (in-memory builder only;
+	// an extension beyond the paper). Values <= 1 run serially. The
+	// parallel build produces exactly the same index as the serial
+	// build. The effective value is clamped (see BuildStats.Workers).
 	Parallelism int
+
+	// CheckpointDir, when non-empty, makes the in-memory builder
+	// persist its full state to this directory after every completed
+	// iteration (atomically: record files first, manifest rename last),
+	// so a killed build can be resumed without losing finished work.
+	// The directory is created if missing. See Resume.
+	CheckpointDir string
+	// Resume continues a build from the last completed iteration
+	// checkpointed in CheckpointDir instead of starting fresh. The
+	// checkpoint's graph and options hashes must match the current
+	// build (ErrCheckpointMismatch otherwise; ErrNoCheckpoint when the
+	// directory holds no manifest), and the resumed build produces an
+	// index byte-identical to an uninterrupted run — with any
+	// Parallelism, which is deliberately excluded from the options
+	// hash.
+	Resume bool
 
 	// External-memory settings (Section 4), used by BuildExternal.
 

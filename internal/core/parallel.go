@@ -1,23 +1,30 @@
 package core
 
 import (
+	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/label"
 )
 
-// Parallel construction is an extension beyond the paper: the generation
-// and pruning phases of each iteration shard across Options.Parallelism
-// workers. Generation reads the (frozen) previous-iteration labels only,
-// so shards are independent; pruning shards along candidate owner-group
-// boundaries with per-worker scratch tables. Because candidates are
-// deduplicated by a full sort before pruning, the parallel build produces
-// exactly the same index as the serial build (enforced by tests).
+// Parallel construction is an extension beyond the paper: every phase of
+// an iteration shards across Options.Parallelism workers — candidate
+// generation (reads only the frozen previous-iteration labels, so shards
+// are independent), the sort/dedup between generation and pruning (chunk
+// sort + pairwise run merging; previously a serial wall), and pruning
+// (owner-group spans with per-worker reusable scratch tables). Because
+// the sort key (owner, pivot, dist) is a total order over the candidate
+// triples, the parallel build produces exactly the same index as the
+// serial build (enforced byte-for-byte by tests).
 
-// workerCount resolves the effective parallelism.
-func (e *engine) workerCount() int {
-	w := e.opt.Parallelism
+// effectiveWorkers resolves a requested Parallelism to the worker count
+// a build actually uses: clamped to [1, 2*GOMAXPROCS]. The clamp is
+// recorded in BuildStats.Workers so callers can see what they got.
+func effectiveWorkers(parallelism int) int {
+	w := parallelism
 	if w < 1 {
 		w = 1
 	}
@@ -26,6 +33,8 @@ func (e *engine) workerCount() int {
 	}
 	return w
 }
+
+func (e *engine) workerCount() int { return effectiveWorkers(e.opt.Parallelism) }
 
 // generateParallel fans the prev entries across workers, each with a
 // private candidate buffer, then concatenates. The concatenation order
@@ -90,36 +99,184 @@ func appendShards(dst, prev []cand, workers int, extend func(cand, func(cand))) 
 	return dst
 }
 
+// candLess is the (owner, pivot, dist) total order dedup relies on:
+// after sorting, the first element of each (owner, pivot) group carries
+// the minimum distance.
+func candLess(a, b cand) bool {
+	if a.owner != b.owner {
+		return a.owner < b.owner
+	}
+	if a.pivot != b.pivot {
+		return a.pivot < b.pivot
+	}
+	return a.dist < b.dist
+}
+
+// parallelSortMin is the candidate count below which the parallel sort
+// falls back to the serial path: goroutine fan-out costs more than it
+// saves on small slices.
+const parallelSortMin = 1 << 12
+
+// dedupCands sorts and deduplicates one candidate side, choosing the
+// parallel sort when it pays. Both paths produce the identical slice
+// content; only the backing array may differ (the parallel path may
+// land the result in the engine's reusable merge scratch).
+func (e *engine) dedupCands(cands []cand) []cand {
+	workers := e.workerCount()
+	if workers <= 1 || len(cands) < parallelSortMin {
+		return dedup(cands)
+	}
+	sorted, spare := sortCandsParallel(cands, e.sortBuf, workers)
+	e.sortBuf = spare
+	return dedupSorted(sorted)
+}
+
+// sortCandsParallel sorts cands by candLess using up to workers
+// goroutines: contiguous chunks are sorted concurrently, then merged
+// pairwise (also concurrently) until one run remains. buf is scratch
+// storage, grown as needed. It returns the sorted slice — backed by
+// either cands or buf, depending on the number of merge rounds — and
+// the other buffer for the caller to reuse.
+func sortCandsParallel(cands, buf []cand, workers int) (sorted, spare []cand) {
+	n := len(cands)
+	if workers > n/parallelSortMin+1 {
+		workers = n/parallelSortMin + 1
+	}
+	// Chunk boundaries: workers near-equal contiguous runs.
+	bounds := make([]int, 0, workers+1)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i+1 < len(bounds); i++ {
+		wg.Add(1)
+		go func(s []cand) {
+			defer wg.Done()
+			sort.Slice(s, func(i, j int) bool { return candLess(s[i], s[j]) })
+		}(cands[bounds[i]:bounds[i+1]])
+	}
+	wg.Wait()
+
+	if cap(buf) < n {
+		buf = make([]cand, n)
+	}
+	buf = buf[:n]
+	src, dst := cands, buf
+	for len(bounds) > 2 {
+		next := make([]int, 0, len(bounds)/2+2)
+		var mg sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			next = append(next, bounds[i])
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(bounds[i], bounds[i+1], bounds[i+2])
+		}
+		if i+1 < len(bounds) {
+			// Odd run out: copy it through unchanged.
+			next = append(next, bounds[i])
+			lo, hi := bounds[i], bounds[i+1]
+			copy(dst[lo:hi], src[lo:hi])
+		}
+		next = append(next, n)
+		mg.Wait()
+		bounds = next
+		src, dst = dst, src
+	}
+	return src, dst
+}
+
+// mergeRuns merges two candLess-sorted runs into dst (len(dst) ==
+// len(a)+len(b)). Ties take from a first; equal triples are
+// indistinguishable, so the choice only matters for determinism of the
+// backing layout, not the content.
+func mergeRuns(dst, a, b []cand) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if candLess(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// dedupSorted keeps the first entry of each (owner, pivot) group of an
+// already-sorted slice: the minimum distance, by the candLess order.
+func dedupSorted(cands []cand) []cand {
+	kept := cands[:0]
+	for _, c := range cands {
+		if len(kept) > 0 {
+			last := kept[len(kept)-1]
+			if last.owner == c.owner && last.pivot == c.pivot {
+				continue
+			}
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// pruneSpansPerWorker oversubscribes the span split so a skewed owner
+// distribution (one hub with most of the candidates) cannot leave
+// workers idle behind one long span.
+const pruneSpansPerWorker = 4
+
 // pruneParallel splits the owner-sorted candidates at owner-group
-// boundaries and prunes each span with its own scratch table. Span order
-// is preserved, so the surviving slice equals the serial result.
+// boundaries and prunes each span in place with a per-worker reusable
+// scratch table (allocated once per engine, not per span per iteration:
+// the scratch is O(N) and dominated allocation on large builds). Span
+// order is preserved and each span compacts within its own region, so
+// the surviving slice equals the serial result with zero extra
+// allocation proportional to the candidate count.
 func (e *engine) pruneParallel(cands []cand, same, opposite [][]label.Entry) ([]cand, int64) {
 	if len(cands) == 0 {
 		return cands[:0], 0
 	}
 	workers := e.workerCount()
-	spans := splitByOwner(cands, workers)
-	type result struct {
-		kept   []cand
-		pruned int64
+	for len(e.scratches) < workers {
+		e.scratches = append(e.scratches, newPruneScratch(e.g.N()))
 	}
-	results := make([]result, len(spans))
+	spans := splitByOwner(cands, workers*pruneSpansPerWorker)
+	if len(spans) < workers {
+		workers = len(spans)
+	}
+	keptSpans := make([][]cand, len(spans))
+	prunedBy := make([]int64, len(spans))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, sp := range spans {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, sp []cand) {
+		go func(ps *pruneScratch) {
 			defer wg.Done()
-			ps := newPruneScratch(e.g.N())
-			kept, pruned := pruneRange(sp, same, opposite, ps, nil)
-			results[i] = result{kept, pruned}
-		}(i, sp)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				sp := spans[i]
+				// In-place: kept entries overwrite the span's own
+				// prefix, never crossing into a neighboring span.
+				keptSpans[i], prunedBy[i] = pruneRange(sp, same, opposite, ps, sp[:0])
+			}
+		}(e.scratches[w])
 	}
 	wg.Wait()
 	kept := cands[:0]
 	var pruned int64
-	for _, r := range results {
-		kept = append(kept, r.kept...)
-		pruned += r.pruned
+	for i := range spans {
+		kept = append(kept, keptSpans[i]...)
+		pruned += prunedBy[i]
 	}
 	return kept, pruned
 }
@@ -146,4 +303,18 @@ func splitByOwner(cands []cand, n int) [][]cand {
 		start = end
 	}
 	return spans
+}
+
+// resetIfNearOverflow guards the versioned scratch against int32
+// wraparound now that scratches live for the whole build instead of one
+// span: after ~2^31 owner groups the version counter restarts from a
+// cleared table.
+func (ps *pruneScratch) resetIfNearOverflow() {
+	if ps.cur < math.MaxInt32-1 {
+		return
+	}
+	for i := range ps.ver {
+		ps.ver[i] = 0
+	}
+	ps.cur = 0
 }

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/gen"
 )
 
-// TestParallelEquivalence: the sharded build must produce exactly the
-// serial build's labels for every method and shape.
+// TestParallelEquivalence: the sharded build must produce a byte-
+// identical serialized index to the serial build for every method and
+// shape, and the stats must report the clamped effective worker count.
 func TestParallelEquivalence(t *testing.T) {
 	type shape struct {
 		directed bool
@@ -26,18 +30,29 @@ func TestParallelEquivalence(t *testing.T) {
 			}
 		}
 		for _, m := range []Method{Hybrid, Doubling, Stepping} {
-			serial, _, err := Build(g, Options{Method: m})
+			serial, sst, err := Build(g, Options{Method: m})
 			if err != nil {
 				t.Fatal(err)
 			}
+			if sst.Workers != 1 {
+				t.Fatalf("serial build reports %d workers, want 1", sst.Workers)
+			}
+			serialBytes := indexBytes(t, serial)
 			for _, workers := range []int{2, 3, 8} {
-				par, _, err := Build(g, Options{Method: m, Parallelism: workers})
+				par, pst, err := Build(g, Options{Method: m, Parallelism: workers})
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !serial.Equal(par) {
 					t.Fatalf("directed=%v weighted=%v method=%v workers=%d: parallel build differs",
 						sh.directed, sh.weighted, m, workers)
+				}
+				if !bytes.Equal(serialBytes, indexBytes(t, par)) {
+					t.Fatalf("directed=%v weighted=%v method=%v workers=%d: serialized index not byte-identical",
+						sh.directed, sh.weighted, m, workers)
+				}
+				if want := effectiveWorkers(workers); pst.Workers != want {
+					t.Fatalf("workers=%d: stats report %d effective workers, want %d", workers, pst.Workers, want)
 				}
 			}
 		}
@@ -65,6 +80,40 @@ func TestParallelScaleFree(t *testing.T) {
 		t.Errorf("stats differ: serial {it=%d c=%d p=%d} parallel {it=%d c=%d p=%d}",
 			st1.Iterations, st1.TotalCandidates, st1.TotalPruned,
 			st2.Iterations, st2.TotalCandidates, st2.TotalPruned)
+	}
+}
+
+// TestSortCandsParallel drives the chunked merge sort directly (the
+// small graphs elsewhere in this file can stay under the parallel-sort
+// threshold): for sizes around the chunking boundaries and several
+// worker counts, the parallel path must reproduce the serial dedup
+// exactly.
+func TestSortCandsParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{parallelSortMin, parallelSortMin + 1, 3*parallelSortMin + 17, 50_000} {
+		base := make([]cand, n)
+		for i := range base {
+			// Small ranges on purpose: plenty of duplicate (owner, pivot)
+			// pairs so dedup has real work.
+			base[i] = cand{owner: int32(rng.Intn(64)), pivot: int32(rng.Intn(64)), dist: uint32(rng.Intn(8) + 1)}
+		}
+		want := dedup(append([]cand(nil), base...))
+		for _, workers := range []int{2, 3, 5, 8} {
+			in := append([]cand(nil), base...)
+			sorted, _ := sortCandsParallel(in, nil, workers)
+			if !sort.SliceIsSorted(sorted, func(i, j int) bool { return candLess(sorted[i], sorted[j]) }) {
+				t.Fatalf("n=%d workers=%d: result not sorted", n, workers)
+			}
+			got := dedupSorted(sorted)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d workers=%d: dedup kept %d, serial kept %d", n, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: entry %d = %+v, serial %+v", n, workers, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }
 

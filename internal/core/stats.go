@@ -50,6 +50,15 @@ func (s IterStats) PruningFactor() float64 {
 type BuildStats struct {
 	Method     Method
 	Iterations int
+	// Workers is the effective parallelism the build ran with after
+	// clamping Options.Parallelism (see workerCount): 1 for serial and
+	// external builds. Recorded so callers can see what they actually
+	// got when the requested value was clamped.
+	Workers int
+	// ResumedFrom is the iteration a checkpoint-resumed build continued
+	// after (0 for a fresh build): iterations 1..ResumedFrom were
+	// restored from the checkpoint, not executed.
+	ResumedFrom int
 	// TotalCandidates sums deduplicated candidates over all iterations.
 	TotalCandidates int64
 	// TotalPruned sums pruned candidates over all iterations.

@@ -70,8 +70,15 @@ type Options struct {
 	// eventually forces one under a sustained delete load.
 	MaxStaleFraction float64
 	// RebuildParallelism shards full rebuilds across goroutines;
-	// <= 1 rebuilds serially.
+	// <= 1 rebuilds serially. It overrides Build.Parallelism.
 	RebuildParallelism int
+	// Build carries the options the index was originally constructed
+	// with, so a staleness-triggered full rebuild reproduces the same
+	// labeling regime (method, switch point, pruning mode, candidate
+	// budget) instead of silently reverting to defaults. Rebuild-unsafe
+	// fields (CheckpointDir, Resume, CollectStats) are cleared before
+	// use; Parallelism is replaced by RebuildParallelism.
+	Build core.Options
 	// JournalLimit bounds the in-memory replication journal, in ops
 	// (see ReplicationLog). Zero selects DefaultJournalLimit; negative
 	// keeps the journal unbounded. A replica that falls further behind
@@ -427,7 +434,11 @@ func (d *Index) fullRebuild() error {
 	if err != nil {
 		return fmt.Errorf("dynamic: snapshotting graph for rebuild: %w", err)
 	}
-	x, _, err := core.BuildRanked(rg, core.Options{Parallelism: d.opt.RebuildParallelism})
+	bopt := d.opt.Build
+	bopt.Parallelism = d.opt.RebuildParallelism
+	bopt.CheckpointDir, bopt.Resume = "", false
+	bopt.CollectStats = false
+	x, _, err := core.BuildRanked(rg, bopt)
 	if err != nil {
 		return fmt.Errorf("dynamic: full rebuild: %w", err)
 	}

@@ -433,3 +433,59 @@ func TestStarHubDelete(t *testing.T) {
 	}
 	checkAgainst(t, d, mutated)
 }
+
+// TestFullRebuildKeepsBuildOptions: a staleness-forced full rebuild must
+// reproduce the regime the index was originally built with (here the
+// no-pruning ablation) rather than reverting to zero-value defaults.
+func TestFullRebuildKeepsBuildOptions(t *testing.T) {
+	g, err := gen.ER(40, 120, false, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bopt := core.Options{DisablePruning: true}
+	x, _, err := core.Build(g, bopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any suspect forces a full rebuild.
+	d, err := New(label.Freeze(x), g, Options{MaxStaleFraction: 1e-9, Build: bopt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete an edge that exists in the ER instance.
+	var du, dv int32 = -1, -1
+	for u := int32(0); u < g.N() && du < 0; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			du, dv = u, v
+			break
+		}
+	}
+	if err := d.DeleteEdge(du, dv); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.FullRebuilds != 1 {
+		t.Fatalf("stats = %+v, want exactly one full rebuild", st)
+	}
+	// The rebuilt labels must equal a from-scratch no-pruning build of
+	// the same rank-space snapshot...
+	rg, err := d.g.freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := core.BuildRanked(rg, bopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !label.Freeze(d.workIdx).Equal(label.Freeze(want)) {
+		t.Error("rebuilt labels differ from a from-scratch build with the original options")
+	}
+	// ...and visibly differ from what a default (pruned) rebuild would
+	// have produced — otherwise this test proves nothing.
+	pruned, _, err := core.BuildRanked(rg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Entries() == pruned.Entries() {
+		t.Skip("graph too small for pruning to matter; pick a denser instance")
+	}
+}

@@ -2,6 +2,7 @@ package label
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -74,6 +75,31 @@ func Freeze(x *Index) *FlatIndex {
 	return f
 }
 
+// FreezeParallel is Freeze with the entry copies fanned across up to
+// workers goroutines: the offsets pass stays serial (it is a trivial
+// prefix sum), then each worker copies a contiguous vertex range into
+// the shared entries array. Disjoint destination ranges, identical
+// result to Freeze. workers <= 1 degrades to Freeze.
+func FreezeParallel(x *Index, workers int) *FlatIndex {
+	if workers <= 1 {
+		return Freeze(x)
+	}
+	f := &FlatIndex{
+		Directed: x.Directed,
+		Weighted: x.Weighted,
+		N:        x.N,
+		Perm:     x.Perm,
+		Inv:      x.Inv,
+	}
+	f.OutOffsets, f.OutEntries = flattenSideParallel(x.Out, workers)
+	if x.Directed {
+		f.InOffsets, f.InEntries = flattenSideParallel(x.In, workers)
+	} else {
+		f.InOffsets, f.InEntries = f.OutOffsets, f.OutEntries
+	}
+	return f
+}
+
 func flattenSide(lists [][]Entry) ([]int64, []Entry) {
 	offsets := make([]int64, len(lists)+1)
 	var total int64
@@ -86,6 +112,37 @@ func flattenSide(lists [][]Entry) ([]int64, []Entry) {
 	for v, l := range lists {
 		copy(entries[offsets[v]:], l)
 	}
+	return offsets, entries
+}
+
+func flattenSideParallel(lists [][]Entry, workers int) ([]int64, []Entry) {
+	offsets := make([]int64, len(lists)+1)
+	var total int64
+	for v, l := range lists {
+		offsets[v] = total
+		total += int64(len(l))
+	}
+	offsets[len(lists)] = total
+	entries := make([]Entry, total)
+	if workers > len(lists) {
+		workers = len(lists)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(lists) + workers - 1) / workers
+	for lo := 0; lo < len(lists); lo += chunk {
+		hi := lo + chunk
+		if hi > len(lists) {
+			hi = len(lists)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				copy(entries[offsets[v]:offsets[v+1]], lists[v])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return offsets, entries
 }
 

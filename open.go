@@ -178,12 +178,18 @@ func Open(path string, opts ...OpenOption) (Querier, error) {
 		if err != nil {
 			return nil, err
 		}
-		dyn, err := dynamic.New(idx.flat, cfg.graph, dynamic.Options{
+		dopt := dynamic.Options{
 			MaxStaleFraction:   cfg.updateOpt.MaxStaleFraction,
 			RebuildParallelism: cfg.updateOpt.RebuildParallelism,
 			JournalLimit:       cfg.updateOpt.JournalLimit,
 			InitialSeq:         cfg.updateOpt.InitialSeq,
-		})
+		}
+		if cfg.updateOpt.Rebuild != nil {
+			// Staleness-triggered full rebuilds replay the original build
+			// configuration instead of zero-value defaults.
+			dopt.Build = coreOptions(*cfg.updateOpt.Rebuild)
+		}
+		dyn, err := dynamic.New(idx.flat, cfg.graph, dopt)
 		if err != nil {
 			return nil, err
 		}

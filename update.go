@@ -103,6 +103,14 @@ type UpdateOptions struct {
 	// at save time), so a replica resumes pulling from there instead of
 	// replaying — or failing to obtain — the primary's earlier history.
 	InitialSeq int64
+	// Rebuild carries the build options the index was originally
+	// constructed with, so a staleness-triggered full rebuild reproduces
+	// the same labeling regime (method, switch point, pruning mode)
+	// instead of reverting to defaults. Construction-only fields
+	// (External, CheckpointDir, Resume) are ignored; Parallelism is
+	// superseded by RebuildParallelism. Nil keeps default options, which
+	// is correct for indexes built with default options.
+	Rebuild *Options
 }
 
 // Updatable is the optional extension of Querier for backends that
