@@ -17,7 +17,7 @@
 //	hopdb-bench -url http://127.0.0.1:8080 -requests 10000 -conc 16 serve
 //	hopdb-bench -url http://127.0.0.1:8080 -batch 64 -binary serve
 //	hopdb-bench -url http://127.0.0.1:8090 -hedge serve   # router hedging A/B
-//	go test -bench 'Distance|LoadIndex|BuildRanked' -benchtime 1x -run '^$' | hopdb-bench benchjson
+//	go test -bench 'Distance|LoadIndex|BuildRanked|ShardedBatch' -benchtime 1x -run '^$' | hopdb-bench benchjson
 //	hopdb-bench -base BENCH_BASE.json -new BENCH_PR.json benchcmp
 package main
 
@@ -52,7 +52,7 @@ func main() {
 
 		basePath   = flag.String("base", "BENCH_BASE.json", "baseline benchmark report (benchcmp)")
 		newPath    = flag.String("new", "BENCH_PR.json", "candidate benchmark report (benchcmp)")
-		matchExpr  = flag.String("match", "^Benchmark(Distance|LoadIndex|BuildRanked)", "benchmark name filter (benchcmp)")
+		matchExpr  = flag.String("match", "^Benchmark(Distance|LoadIndex|BuildRanked|ShardedBatch)", "benchmark name filter (benchcmp)")
 		maxRegress = flag.Float64("max-regress", 0.25, "fail benchcmp when ns/op grows by more than this fraction")
 	)
 	flag.Parse()

@@ -10,6 +10,15 @@
 //	hopdb-build -in web.txt -directed -method hybrid -external -o web.idx
 //	hopdb-build -in big.txt -checkpoint ck/ -o big.idx          # killable
 //	hopdb-build -in big.txt -checkpoint ck/ -resume -o big.idx  # continue
+//	hopdb-build -in big.txt -shards 4 -shard-dir shards/  # rank shards + hub
+//
+// -shards partitions the index by contiguous rank ranges into N leaf
+// shard files plus a replicated hub shard (the top-rank tier), written
+// to -shard-dir together with shard.json. It drives the external
+// builder (implied -external), streaming labels straight from the
+// sorted record files into the shard files, so the full index is never
+// resident in memory. Serve each leaf with hopdb-serve -shard and
+// front them with hopdb-router -shard-map.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	hopdb "repro"
@@ -41,10 +51,13 @@ func main() {
 		noPrune    = flag.Bool("no-pruning", false, "disable label pruning (ablation)")
 		stats      = flag.Bool("stats", false, "print per-iteration statistics")
 		compact    = flag.Bool("compact", false, "write -o in the compact (v3, delta-coded) format; smaller but not mmap-able")
+		shards     = flag.Int("shards", 0, "partition the index into this many leaf rank shards plus a hub shard (implies -external; writes to -shard-dir)")
+		hubRanks   = flag.Int("hub", 0, "hub tier size in ranks (0 selects ceil(sqrt(n)))")
+		shardDir   = flag.String("shard-dir", "", "output directory for -shards: leaf/hub shard files and shard.json")
 	)
 	flag.Parse()
-	if *in == "" || (*out == "" && *disk == "") {
-		fmt.Fprintln(os.Stderr, "hopdb-build: -in and one of -o/-disk are required")
+	if *in == "" || (*out == "" && *disk == "" && *shards == 0) {
+		fmt.Fprintln(os.Stderr, "hopdb-build: -in and one of -o/-disk/-shards are required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -52,6 +65,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hopdb-build: -compact requires -o")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shards > 0 {
+		if *shardDir == "" {
+			fail(errors.New("-shards requires -shard-dir"))
+		}
+		if *out != "" || *disk != "" || *compact {
+			fail(errors.New("-shards writes shard files to -shard-dir; drop -o/-disk/-compact"))
+		}
+		// Shard construction streams from the external builder's record
+		// files; -shards without -external just turns it on.
+		*external = true
 	}
 	if *external {
 		// The external builder is serial and uncheckpointed by design;
@@ -101,6 +125,28 @@ func main() {
 		opt.Method = hopdb.Stepping
 	default:
 		fail(fmt.Errorf("unknown method %q", *method))
+	}
+	if *shards > 0 {
+		m, st, err := hopdb.BuildShards(g, opt, hopdb.ShardConfig{
+			Shards:   *shards,
+			HubRanks: int32(*hubRanks),
+			Dir:      *shardDir,
+		})
+		if err != nil {
+			fail(err)
+		}
+		total := m.TotalEntries()
+		fmt.Fprintf(os.Stderr, "built: method=%v iterations=%d entries=%d size=%.2fMB time=%v\n",
+			st.Method, st.Iterations, total, float64(total*8)/(1<<20), st.Duration)
+		fmt.Fprintf(os.Stderr, "external I/O: %d block reads, %d block writes\n", st.ReadIOs, st.WriteIOs)
+		fmt.Fprintf(os.Stderr, "hub: ranks [0,%d) entries=%d size=%.2fMB (%s, replicated on the router)\n",
+			m.HubRanks, m.HubEntries, float64(m.HubEntries*8)/(1<<20), m.HubFile)
+		for _, sh := range m.Shards {
+			fmt.Fprintf(os.Stderr, "shard %d: ranks [%d,%d) entries=%d size=%.2fMB (%s)\n",
+				sh.ID, sh.Lo, sh.Hi, sh.Entries, float64(sh.Entries*8)/(1<<20), sh.File)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(*shardDir, "shard.json"))
+		return
 	}
 	idx, st, err := hopdb.Build(g, opt)
 	if errors.Is(err, hopdb.ErrNoCheckpoint) {

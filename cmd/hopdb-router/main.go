@@ -11,7 +11,16 @@
 //
 //	hopdb-router -replicas http://a:8080,http://b:8080,http://c:8080 \
 //	    [-primary http://a:8080] [-addr :8090] [-hedge 2ms] \
-//	    [-chunk 256] [-max-batch 10000] [-health-interval 500ms]
+//	    [-chunk 256] [-max-batch 10000] [-health-interval 500ms] \
+//	    [-shard-map shards/shard.json]
+//
+// With -shard-map the replicas are rank shards from hopdb-build
+// -shards (each started with hopdb-serve -shard): the router loads the
+// replicated hub shard into its own memory, answers hub-covered pairs
+// locally without any leaf RPC, batches same-leaf pairs natively to
+// their owner, and scatter-gathers the rest — fetching each pair's two
+// label rows from their owning shards over POST /v1/rows and merging
+// locally — all through the same hedging/failover machinery.
 //
 // Routing is dataset-aware: replicas advertise the datasets they serve
 // in /v1/stats, and /v1/{dataset}/* requests scatter only to replicas
@@ -54,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -69,6 +79,7 @@ func main() {
 		upTimeout = flag.Duration("upstream-timeout", cluster.DefaultUpstreamTimeout, "per-attempt upstream budget")
 		accessN   = flag.Int("accesslog", 0, "access-log ring capacity in entries (0 selects 1024)")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		shardMapP = flag.String("shard-map", "", "shard.json from hopdb-build -shards: replicas are rank shards; scatter-gather with the hub shard router-resident")
 	)
 	flag.Parse()
 	urls := splitURLs(*replicas)
@@ -76,6 +87,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hopdb-router: -replicas is required (comma-separated base URLs)")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var (
+		smap *shard.Map
+		hub  *shard.Shard
+	)
+	if *shardMapP != "" {
+		var err error
+		if smap, err = shard.LoadMap(*shardMapP); err != nil {
+			fail(err)
+		}
+		if hub, err = shard.Load(shard.Resolve(*shardMapP, smap.HubFile)); err != nil {
+			fail(err)
+		}
+		log.Printf("sharded routing: %d leaf shards, hub tier [0,%d) router-resident (%d entries, %.2fMB)",
+			len(smap.Shards), smap.HubRanks, hub.Entries(), float64(hub.SizeBytes())/(1<<20))
 	}
 
 	pool := cluster.NewPool(urls, nil, *healthInt)
@@ -87,6 +114,8 @@ func main() {
 		Primary:         *primary,
 		UpstreamTimeout: *upTimeout,
 		AccessLogSize:   *accessN,
+		ShardMap:        smap,
+		Hub:             hub,
 	})
 	if err != nil {
 		fail(err)

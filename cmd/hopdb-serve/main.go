@@ -11,6 +11,11 @@
 //	hopdb-serve -idx graph.idx -mmap -graph graph.txt   # enables /v1/path
 //	hopdb-serve -disk graph.didx -disk-cache 4096       # labels stay on disk
 //	hopdb-serve -remote http://other:8080               # proxy + cache tier
+//	hopdb-serve -shard shards/leaf0.sidx -shard-map shards/shard.json
+//	                                                    # one rank shard of a
+//	                                                    # hopdb-build -shards
+//	                                                    # fleet (front with
+//	                                                    # hopdb-router)
 //	hopdb-serve -idx graph.idx -graph graph.txt -updates -admin-token secret
 //	                                                    # accept edge updates
 //	hopdb-serve -idx graph.idx -graph graph.txt -updates \
@@ -66,14 +71,17 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
 func main() {
 	var (
-		idxPath    = flag.String("idx", "", "index file built by hopdb-build (one of -idx/-disk/-remote)")
+		idxPath    = flag.String("idx", "", "index file built by hopdb-build (one of -idx/-disk/-remote/-shard)")
 		diskPath   = flag.String("disk", "", "disk-query index file built by hopdb-build -disk")
 		remoteURL  = flag.String("remote", "", "upstream hopdb-serve URL to proxy (adds a serving + cache tier)")
+		shardPath  = flag.String("shard", "", "rank-shard file written by hopdb-build -shards; serves only its rank range (pair with hopdb-router -shard-map)")
+		shardMapP  = flag.String("shard-map", "", "shard.json to validate -shard against (optional but recommended)")
 		useMmap    = flag.Bool("mmap", false, "memory-map the -idx file (v2 flat format) instead of reading it into memory")
 		diskLabels = flag.Int("disk-cache", 0, "label lists kept in memory by the -disk backend (0 disables)")
 		graphPath  = flag.String("graph", "", "original edge list; attaching it enables /v1/path and -bitparallel")
@@ -119,15 +127,21 @@ func main() {
 		})
 	flag.Parse()
 	sources := 0
-	for _, s := range []string{*idxPath, *diskPath, *remoteURL} {
+	for _, s := range []string{*idxPath, *diskPath, *remoteURL, *shardPath} {
 		if s != "" {
 			sources++
 		}
 	}
 	if sources > 1 || (sources == 0 && len(extra) == 0) {
-		fmt.Fprintln(os.Stderr, "hopdb-serve: exactly one of -idx/-disk/-remote (the default dataset), or at least one -dataset, is required")
+		fmt.Fprintln(os.Stderr, "hopdb-serve: exactly one of -idx/-disk/-remote/-shard (the default dataset), or at least one -dataset, is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shardPath != "" && (*useMmap || *graphPath != "" || *bitpar > 0 || *updates) {
+		fail(errors.New("-shard serves a static rank slice; drop -mmap/-graph/-bitparallel/-updates"))
+	}
+	if *shardMapP != "" && *shardPath == "" {
+		fail(errors.New("-shard-map needs -shard"))
 	}
 
 	// Assemble the hopdb.Open call the flags describe; every backend
@@ -174,12 +188,22 @@ func main() {
 	if sources == 1 {
 		start := time.Now()
 		var err error
-		q, err = hopdb.Open(path, opts...)
+		if *shardPath != "" {
+			q, err = hopdb.OpenShard(*shardPath)
+			if err == nil && *shardMapP != "" {
+				err = checkShardMap(q, *shardMapP)
+			}
+		} else {
+			q, err = hopdb.Open(path, opts...)
+		}
 		if err != nil {
 			fail(err)
 		}
 		defer q.Close()
 		st := q.Stats()
+		if st.Shard != nil {
+			log.Printf("shard ranks [%d,%d) of %d vertices (hub=%v)", st.Shard.Lo, st.Shard.Hi, st.Vertices, st.Shard.Hub)
+		}
 		log.Printf("opened %s backend in %v: %d vertices, %d entries (%d bytes)",
 			st.Backend, time.Since(start).Round(time.Millisecond), st.Vertices, st.Entries, st.SizeBytes)
 		if *graphPath != "" {
@@ -305,6 +329,34 @@ func main() {
 	}
 	fin := srv.Stats()
 	log.Printf("served %d queries over %.1fs (%.0f qps)", fin.Queries, fin.UptimeSeconds, fin.QPS)
+}
+
+// checkShardMap cross-checks an opened shard backend against a
+// shard.json: the advertised rank range must be the map's hub tier or
+// one of its leaves, over the same vertex count — catching a stale or
+// mismatched shard file before the router ever routes to it.
+func checkShardMap(q hopdb.Querier, mapPath string) error {
+	m, err := shard.LoadMap(mapPath)
+	if err != nil {
+		return err
+	}
+	st := q.Stats()
+	si := st.Shard
+	if st.Vertices != m.N {
+		return fmt.Errorf("shard has %d vertices but %s describes %d", st.Vertices, mapPath, m.N)
+	}
+	if si.Hub {
+		if si.Lo != 0 || si.Hi != m.HubRanks {
+			return fmt.Errorf("hub shard covers [%d,%d) but %s's hub tier is [0,%d)", si.Lo, si.Hi, mapPath, m.HubRanks)
+		}
+		return nil
+	}
+	for _, sh := range m.Shards {
+		if sh.Lo == si.Lo && sh.Hi == si.Hi {
+			return nil
+		}
+	}
+	return fmt.Errorf("shard covers ranks [%d,%d), which is no leaf of %s (stale shard map?)", si.Lo, si.Hi, mapPath)
 }
 
 func fail(err error) {

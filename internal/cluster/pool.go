@@ -40,18 +40,27 @@ type ReplicaState struct {
 	// probe (a replica predating multi-tenancy advertises none and is
 	// treated as serving only "default").
 	Datasets []string `json:"datasets,omitempty"`
+	// Shard is the rank range the replica advertised (shard backends
+	// only).
+	Shard *wire.ShardInfo `json:"shard,omitempty"`
 	// LastError is the most recent probe failure, cleared on recovery.
 	LastError string `json:"last_error,omitempty"`
 }
 
 // endpoint is one replica in the pool.
 type endpoint struct {
-	url      string
-	healthy  atomic.Bool
-	inflight atomic.Int64
-	seq      atomic.Int64
-	epoch    atomic.Int64
-	vertices atomic.Int64
+	url       string
+	healthy   atomic.Bool
+	inflight  atomic.Int64
+	seq       atomic.Int64
+	epoch     atomic.Int64
+	vertices  atomic.Int64
+	entries   atomic.Int64
+	sizeBytes atomic.Int64
+	directed  atomic.Bool
+	// shard is the advertised owned rank range from the last probe; nil
+	// for backends holding the whole index.
+	shard atomic.Pointer[wire.ShardInfo]
 	// datasets is the advertised dataset set from the last probe; nil
 	// (never probed, or a pre-multi-tenant replica) means {"default"}.
 	datasets atomic.Pointer[map[string]bool]
@@ -94,6 +103,7 @@ func (e *endpoint) state() ReplicaState {
 		Epoch:     e.epoch.Load(),
 		Inflight:  e.inflight.Load(),
 		Datasets:  dss,
+		Shard:     e.shard.Load(),
 		LastError: lastErr,
 	}
 }
@@ -172,6 +182,10 @@ func (p *Pool) probe(ep *endpoint) {
 		ep.epoch.Store(st.Updates.Epoch)
 	}
 	ep.vertices.Store(int64(st.Vertices))
+	ep.entries.Store(st.Entries)
+	ep.sizeBytes.Store(st.SizeBytes)
+	ep.directed.Store(st.Directed)
+	ep.shard.Store(st.Shard)
 	set := map[string]bool{wire.DefaultDataset: true}
 	if len(st.Datasets) > 0 {
 		set = make(map[string]bool, len(st.Datasets))
@@ -222,9 +236,25 @@ func (p *Pool) Pick(exclude func(url string) bool) *endpoint {
 // (power of two choices), which bounds load imbalance without global
 // coordination. Returns nil when no candidate remains.
 func (p *Pool) PickDataset(dataset string, exclude func(url string) bool) *endpoint {
+	return p.pick(func(ep *endpoint) bool { return ep.serves(dataset) }, exclude)
+}
+
+// PickShardOwner selects a healthy replica advertising exactly the
+// shard range si (power of two choices among its replicas), or nil
+// when none is up — the shard-routing analogue of PickDataset.
+func (p *Pool) PickShardOwner(si wire.ShardInfo, exclude func(url string) bool) *endpoint {
+	return p.pick(func(ep *endpoint) bool {
+		got := ep.shard.Load()
+		return got != nil && *got == si
+	}, exclude)
+}
+
+// pick is the shared candidate filter + power-of-two-choices sampler
+// behind PickDataset and PickShardOwner.
+func (p *Pool) pick(match func(*endpoint) bool, exclude func(url string) bool) *endpoint {
 	var cands []*endpoint
 	for _, ep := range p.eps {
-		if !ep.healthy.Load() || !ep.serves(dataset) {
+		if !ep.healthy.Load() || !match(ep) {
 			continue
 		}
 		if exclude != nil && exclude(ep.url) {
@@ -296,16 +326,114 @@ func (p *Pool) Datasets() []string {
 	return out
 }
 
-// Vertices returns the indexed vertex count reported by any healthy
-// replica (zero when none has answered a probe yet), so the router's
-// /v1/stats can serve workload discovery like a replica does.
+// Vertices returns the indexed vertex count reported by healthy
+// replicas (zero when none has answered a probe yet), so the router's
+// /v1/stats can serve workload discovery like a replica does. Shard
+// backends all advertise the global count; the max guards against a
+// straggler that answered before its labels finished loading.
 func (p *Pool) Vertices() int32 {
+	var v int64
 	for _, ep := range p.eps {
 		if ep.healthy.Load() {
-			if v := ep.vertices.Load(); v > 0 {
-				return int32(v)
+			if got := ep.vertices.Load(); got > v {
+				v = got
 			}
 		}
 	}
-	return 0
+	return int32(v)
+}
+
+// ShardTotal aggregates one distinct index slice's resident footprint:
+// replicas of the same slice are counted once (they hold the same
+// bytes), so the sum over ShardTotals is the fleet's label total, not
+// the replication-inflated one.
+type ShardTotal struct {
+	// Lo, Hi delimit the slice's rank range; a full (unsharded) index
+	// reports [0, vertices).
+	Lo  int32 `json:"lo"`
+	Hi  int32 `json:"hi"`
+	Hub bool  `json:"hub,omitempty"`
+	// Full marks an unsharded whole-index backend group.
+	Full      bool  `json:"full,omitempty"`
+	Entries   int64 `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
+	// Replicas counts healthy replicas holding this slice.
+	Replicas int `json:"replicas"`
+}
+
+// ShardTotals groups healthy replicas by advertised shard identity and
+// reports each distinct slice's label footprint once. Unsharded
+// replicas form a single whole-index group. Ordered hub first, then by
+// ascending rank range, whole-index group last.
+func (p *Pool) ShardTotals() []ShardTotal {
+	type key struct {
+		si   wire.ShardInfo
+		full bool
+	}
+	groups := map[key]*ShardTotal{}
+	var order []key
+	for _, ep := range p.eps {
+		if !ep.healthy.Load() {
+			continue
+		}
+		var k key
+		if si := ep.shard.Load(); si != nil {
+			k = key{si: *si}
+		} else {
+			k = key{full: true}
+		}
+		g, ok := groups[k]
+		if !ok {
+			g = &ShardTotal{
+				Lo:        k.si.Lo,
+				Hi:        k.si.Hi,
+				Hub:       k.si.Hub,
+				Full:      k.full,
+				Entries:   ep.entries.Load(),
+				SizeBytes: ep.sizeBytes.Load(),
+			}
+			if k.full {
+				g.Hi = int32(ep.vertices.Load())
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.Replicas++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.full != b.full {
+			return b.full // whole-index group last
+		}
+		if a.si.Hub != b.si.Hub {
+			return a.si.Hub // hub first
+		}
+		if a.si.Lo != b.si.Lo {
+			return a.si.Lo < b.si.Lo
+		}
+		return a.si.Hi < b.si.Hi
+	})
+	out := make([]ShardTotal, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out
+}
+
+// IndexTotals sums label entries and bytes across every distinct index
+// slice held by healthy replicas — each shard counted once however
+// many replicas hold it — plus whether any backend is directed. This
+// is the fleet capacity view: an unsharded fleet reports one index's
+// worth, a sharded fleet the sum of its shards.
+func (p *Pool) IndexTotals() (entries, sizeBytes int64, directed bool) {
+	for _, g := range p.ShardTotals() {
+		entries += g.Entries
+		sizeBytes += g.SizeBytes
+	}
+	for _, ep := range p.eps {
+		if ep.healthy.Load() && ep.directed.Load() {
+			directed = true
+		}
+	}
+	return entries, sizeBytes, directed
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/httpmw"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -61,6 +62,14 @@ type RouterConfig struct {
 	AccessLogSize int
 	// Logf is the router's log sink (panics); nil selects log.Printf.
 	Logf func(format string, args ...any)
+	// ShardMap enables scatter-gather routing for the default dataset:
+	// the pool's replicas are leaf shards owning contiguous rank ranges,
+	// resolved per pair through this map. Requires Hub.
+	ShardMap *shard.Map
+	// Hub is the router-resident replicated hub shard (the top-rank
+	// tier): hub-covered pairs are answered locally without touching a
+	// leaf, and mixed pairs take their hub-side row from it.
+	Hub *shard.Shard
 }
 
 // Router is the stateless serving tier in front of a replica pool: it
@@ -85,8 +94,13 @@ type Router struct {
 	hedges       atomic.Int64 // duplicate requests launched by the hedger
 	hedgeWins    atomic.Int64 // requests won by the hedged duplicate
 	upstreamErrs atomic.Int64 // transient upstream failures observed
+	hubLocal     atomic.Int64 // pairs answered from the router-resident hub, no leaf RPC
+	rowFetches   atomic.Int64 // label rows fetched from leaf shards for local merging
 	lat          metrics.Latency
 }
+
+// sharded reports whether scatter-gather shard routing is configured.
+func (rt *Router) sharded() bool { return rt.cfg.ShardMap != nil }
 
 // NewRouter wires a router over pool. The pool should be Started (or
 // Probed) before traffic arrives.
@@ -99,6 +113,18 @@ func NewRouter(pool *Pool, cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.UpstreamTimeout <= 0 {
 		cfg.UpstreamTimeout = DefaultUpstreamTimeout
+	}
+	if (cfg.ShardMap == nil) != (cfg.Hub == nil) {
+		return nil, errors.New("cluster: sharded routing needs both ShardMap and Hub")
+	}
+	if cfg.ShardMap != nil {
+		if err := cfg.ShardMap.Validate(); err != nil {
+			return nil, err
+		}
+		if !cfg.Hub.Hub || cfg.Hub.Lo != 0 || cfg.Hub.Hi != cfg.ShardMap.HubRanks || cfg.Hub.NumVertices != cfg.ShardMap.N {
+			return nil, fmt.Errorf("cluster: hub shard [%d,%d) of n=%d does not match shard map hub tier [0,%d) of n=%d",
+				cfg.Hub.Lo, cfg.Hub.Hi, cfg.Hub.NumVertices, cfg.ShardMap.HubRanks, cfg.ShardMap.N)
+		}
 	}
 	rt := &Router{
 		pool:  pool,
@@ -269,13 +295,28 @@ func (rt *Router) maxAttempts() int {
 // failed (so a 503 from uniformly behind replicas propagates as a 503,
 // keeping min-seq semantics).
 func (rt *Router) forward(ctx context.Context, dataset, method, path, contentType string, body []byte, fwd http.Header, noHedge bool) upstream {
+	pick := func(exclude func(string) bool) *endpoint { return rt.pool.PickDataset(dataset, exclude) }
+	return rt.forwardPick(ctx, pick, fmt.Sprintf("dataset %q", dataset), method, path, contentType, body, fwd, noHedge)
+}
+
+// forwardShard routes one request to a replica holding exactly the
+// shard si, with the same hedge/retry/failover loop as forward.
+func (rt *Router) forwardShard(ctx context.Context, si wire.ShardInfo, method, path, contentType string, body []byte, fwd http.Header, noHedge bool) upstream {
+	pick := func(exclude func(string) bool) *endpoint { return rt.pool.PickShardOwner(si, exclude) }
+	return rt.forwardPick(ctx, pick, fmt.Sprintf("shard [%d,%d)", si.Lo, si.Hi), method, path, contentType, body, fwd, noHedge)
+}
+
+// forwardPick is the routing loop behind forward and forwardShard:
+// launch on a picked replica, hedge a straggler, fail transient
+// outcomes over to untried replicas until the attempt budget runs out.
+func (rt *Router) forwardPick(ctx context.Context, pick func(exclude func(string) bool) *endpoint, what, method, path, contentType string, body []byte, fwd http.Header, noHedge bool) upstream {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	budget := rt.maxAttempts()
 	results := make(chan upstream, budget)
 	tried := make(map[string]bool)
 	launch := func(hedged bool) bool {
-		ep := rt.pool.PickDataset(dataset, func(u string) bool { return tried[u] })
+		ep := pick(func(u string) bool { return tried[u] })
 		if ep == nil {
 			return false
 		}
@@ -284,7 +325,7 @@ func (rt *Router) forward(ctx context.Context, dataset, method, path, contentTyp
 		return true
 	}
 	if !launch(false) {
-		return upstream{err: fmt.Errorf("%w (dataset %q)", errNoReplicas, dataset)}
+		return upstream{err: fmt.Errorf("%w (%s)", errNoReplicas, what)}
 	}
 	launched, inflight := 1, 1
 	var hedgeTimer <-chan time.Time
@@ -351,6 +392,10 @@ func (rt *Router) writeUpstream(w http.ResponseWriter, res upstream) {
 }
 
 func (rt *Router) handleDistance(w http.ResponseWriter, r *http.Request) {
+	if rt.sharded() && dsName(r) == wire.DefaultDataset {
+		rt.handleShardedDistance(w, r)
+		return
+	}
 	rt.forwardSingle(w, r, "/distance")
 }
 
@@ -462,6 +507,11 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(pairs) > rt.cfg.MaxBatch {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d pairs exceeds the limit of %d", len(pairs), rt.cfg.MaxBatch))
+		return
+	}
+
+	if rt.sharded() && ds == wire.DefaultDataset {
+		rt.shardedBatch(w, r, pairs, binaryIn)
 		return
 	}
 
@@ -600,17 +650,33 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // mirrors a replica's so workload tools (hopdb-bench serve) can discover
 // the id space through the router transparently.
 type RouterStats struct {
-	Backend        string         `json:"backend"`
-	Vertices       int32          `json:"vertices"`
-	UptimeSeconds  float64        `json:"uptime_seconds"`
-	Requests       int64          `json:"requests"`
-	Queries        int64          `json:"queries"`
-	QPS            float64        `json:"qps"`
-	Retries        int64          `json:"retries"`
-	Hedges         int64          `json:"hedges"`
-	HedgeWins      int64          `json:"hedge_wins"`
-	UpstreamErrors int64          `json:"upstream_errors"`
-	Replicas       []ReplicaState `json:"replicas"`
+	Backend  string `json:"backend"`
+	Vertices int32  `json:"vertices"`
+	// Directed, Entries, and SizeBytes describe the fleet's index —
+	// label bytes summed across distinct shards (replicas once), not
+	// the first backend's view — matching a replica's stats keys so
+	// clients handshake through the router transparently.
+	Directed       bool    `json:"directed"`
+	Entries        int64   `json:"entries"`
+	SizeBytes      int64   `json:"size_bytes"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       int64   `json:"requests"`
+	Queries        int64   `json:"queries"`
+	QPS            float64 `json:"qps"`
+	Retries        int64   `json:"retries"`
+	Hedges         int64   `json:"hedges"`
+	HedgeWins      int64   `json:"hedge_wins"`
+	UpstreamErrors int64   `json:"upstream_errors"`
+	// HubLocal counts pairs answered entirely from the router-resident
+	// hub shard (no leaf RPC); RowFetches counts label rows pulled from
+	// leaf shards for router-local merging. Both stay zero unsharded.
+	HubLocal   int64          `json:"hub_local"`
+	RowFetches int64          `json:"row_fetches"`
+	Replicas   []ReplicaState `json:"replicas"`
+	// Shards reports per-shard resident label bytes, each distinct
+	// slice once however many replicas hold it (sharded fleets only;
+	// the hub row is the router's own copy).
+	Shards []ShardTotal `json:"shards,omitempty"`
 	// Datasets is the union of the datasets advertised by healthy
 	// replicas — the same field a replica's /v1/stats carries, so pools
 	// of routers chain.
@@ -620,9 +686,13 @@ type RouterStats struct {
 // Stats snapshots the router counters and replica states.
 func (rt *Router) Stats() RouterStats {
 	uptime := rt.now().Sub(rt.start).Seconds()
+	entries, sizeBytes, directed := rt.pool.IndexTotals()
 	st := RouterStats{
 		Backend:        string(wire.BackendRouter),
 		Vertices:       rt.pool.Vertices(),
+		Directed:       directed,
+		Entries:        entries,
+		SizeBytes:      sizeBytes,
 		UptimeSeconds:  uptime,
 		Requests:       rt.requests.Load(),
 		Queries:        rt.queries.Load(),
@@ -630,8 +700,33 @@ func (rt *Router) Stats() RouterStats {
 		Hedges:         rt.hedges.Load(),
 		HedgeWins:      rt.hedgeWins.Load(),
 		UpstreamErrors: rt.upstreamErrs.Load(),
+		HubLocal:       rt.hubLocal.Load(),
+		RowFetches:     rt.rowFetches.Load(),
 		Replicas:       rt.pool.States(),
 		Datasets:       rt.pool.Datasets(),
+	}
+	if rt.sharded() {
+		st.Vertices = rt.cfg.ShardMap.N
+		st.Directed = rt.cfg.ShardMap.Directed
+		st.Shards = rt.pool.ShardTotals()
+		hubHeld := false
+		for _, g := range st.Shards {
+			if g.Hub {
+				hubHeld = true
+			}
+		}
+		// The hub tier is router-resident; count it unless some replica
+		// already serves (and advertised) it.
+		if !hubHeld {
+			hub := rt.cfg.Hub
+			st.Entries += hub.Entries()
+			st.SizeBytes += hub.SizeBytes()
+			st.Shards = append([]ShardTotal{{
+				Lo: hub.Lo, Hi: hub.Hi, Hub: true,
+				Entries: hub.Entries(), SizeBytes: hub.SizeBytes(),
+				Replicas: 1,
+			}}, st.Shards...)
+		}
 	}
 	if uptime > 0 {
 		st.QPS = float64(st.Queries) / uptime
@@ -662,6 +757,20 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Metric("hopdb_router_hedges_total", "Hedged duplicate requests launched.", "counter", float64(st.Hedges))
 	m.Metric("hopdb_router_hedge_wins_total", "Requests won by the hedged duplicate.", "counter", float64(st.HedgeWins))
 	m.Metric("hopdb_router_upstream_errors_total", "Transient upstream failures observed.", "counter", float64(st.UpstreamErrors))
+	m.Metric("hopdb_router_hub_local_total", "Pairs answered from the router-resident hub shard (no leaf RPC).", "counter", float64(st.HubLocal))
+	m.Metric("hopdb_router_row_fetches_total", "Label rows fetched from leaf shards for local merging.", "counter", float64(st.RowFetches))
+	m.Metric("hopdb_router_label_entries", "Label entries across distinct index slices (replicas once).", "gauge", float64(st.Entries))
+	m.Metric("hopdb_router_label_bytes", "Label bytes across distinct index slices (replicas once).", "gauge", float64(st.SizeBytes))
+	for _, g := range st.Shards {
+		name := fmt.Sprintf("%d-%d", g.Lo, g.Hi)
+		if g.Hub {
+			name = "hub"
+		}
+		m.Metric("hopdb_router_shard_bytes", "Resident label bytes per distinct shard.", "gauge",
+			float64(g.SizeBytes), "shard="+name)
+		m.Metric("hopdb_router_shard_replicas", "Healthy replicas per distinct shard.", "gauge",
+			float64(g.Replicas), "shard="+name)
+	}
 	m.Metric("hopdb_router_replicas", "Configured replicas.", "gauge", float64(len(st.Replicas)))
 	m.Metric("hopdb_router_replicas_healthy", "Replicas currently healthy.", "gauge", float64(rt.pool.Healthy()))
 	m.Metric("hopdb_router_datasets", "Datasets routable right now (union over healthy replicas).", "gauge", float64(len(st.Datasets)))

@@ -1,0 +1,279 @@
+// Sharded scatter-gather: the router-side query path when the pool's
+// replicas are rank shards (RouterConfig.ShardMap + Hub). Each pair
+// needs only Out(rank(s)) and In(rank(t)), and the rank invariant
+// (every pivot outranks its owner) makes a contiguous rank range a
+// complete shard key, so a pair resolves to at most two owning shards:
+//
+//   - both ranks in the hub tier  -> merged against the router-resident
+//     hub shard, zero leaf RPCs;
+//   - both ranks on the same leaf -> the pair is batched natively to
+//     that leaf over the binary codec;
+//   - otherwise                   -> the two rows are fetched from their
+//     owners (hub rows locally, leaf rows via POST /v1/rows, deduped
+//     per row across the batch) and merged on the router.
+//
+// Fan-out rides the same hedging/failover loop as unsharded routing,
+// with replica choice constrained to the shard that owns the range.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/label"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// leafInfo is leaf id's advertised identity (Map.Validate pins IDs to
+// slice positions).
+func leafInfo(m *shard.Map, id int32) wire.ShardInfo {
+	r := m.Shards[id]
+	return wire.ShardInfo{Lo: r.Lo, Hi: r.Hi}
+}
+
+// handleShardedDistance answers GET /v1/distance from the shard fleet,
+// mirroring a replica's response shape byte for byte.
+func (rt *Router) handleShardedDistance(w http.ResponseWriter, r *http.Request) {
+	t0 := rt.now()
+	defer func() { rt.lat.Observe(rt.now().Sub(t0)) }()
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	rt.requests.Add(1)
+	sv, tv, ok := parsePair(w, r)
+	if !ok {
+		return
+	}
+	dists, fail := rt.shardedAnswer(r.Context(), []wire.QueryPair{{S: sv, T: tv}},
+		forwardHeaders(r), r.Header.Get(wire.HeaderNoHedge) != "")
+	if fail != nil {
+		rt.writeUpstream(w, *fail)
+		return
+	}
+	rt.queries.Add(1)
+	d := dists[0]
+	res := wire.DistanceResult{S: sv, T: tv, Reachable: d != wire.Infinity}
+	if res.Reachable {
+		res.Distance = &d
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// shardedBatch finishes a /v1/batch request (already decoded and
+// size-checked by handleBatch) through the scatter-gather path,
+// responding in the encoding the client used.
+func (rt *Router) shardedBatch(w http.ResponseWriter, r *http.Request, pairs []wire.QueryPair, binaryIn bool) {
+	results, fail := rt.shardedAnswer(r.Context(), pairs,
+		forwardHeaders(r), r.Header.Get(wire.HeaderNoHedge) != "")
+	if fail != nil {
+		rt.writeUpstream(w, *fail)
+		return
+	}
+	rt.queries.Add(int64(len(pairs)))
+	if binaryIn {
+		w.Header().Set("Content-Type", wire.ContentTypeBinaryBatch)
+		w.WriteHeader(http.StatusOK)
+		w.Write(wire.AppendBatchResponse(nil, results))
+		return
+	}
+	out := wire.BatchResult{Results: make([]wire.DistanceResult, len(pairs))}
+	for i := range pairs {
+		dr := wire.DistanceResult{S: pairs[i].S, T: pairs[i].T, Reachable: results[i] != wire.Infinity}
+		if dr.Reachable {
+			dr.Distance = &results[i]
+		}
+		out.Results[i] = dr
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// shardedAnswer computes the distances for pairs against the shard
+// fleet: classify every pair, fan out the leaf work concurrently, and
+// merge mixed pairs locally. On failure the first upstream outcome is
+// returned for relaying (nil results).
+func (rt *Router) shardedAnswer(ctx context.Context, pairs []wire.QueryPair, fwd http.Header, noHedge bool) ([]uint32, *upstream) {
+	m, hub := rt.cfg.ShardMap, rt.cfg.Hub
+	h := m.HubRanks
+	results := make([]uint32, len(pairs))
+
+	// mergePair is one pair answered by a router-local merge of two rows.
+	type mergePair struct {
+		idx    int
+		rs, rt int32
+	}
+	var (
+		merges   []mergePair
+		hubHits  int64
+		native   = map[int32][]int{}        // leaf id -> pair indexes it answers natively
+		rowOwner = map[shard.RowKey]int32{} // leaf-owned rows needed, deduped across the batch
+	)
+	for i, p := range pairs {
+		if p.S < 0 || p.T < 0 || p.S >= m.N || p.T >= m.N {
+			results[i] = wire.Infinity
+			continue
+		}
+		rs, rtk := hub.Perm[p.S], hub.Perm[p.T]
+		if rs == rtk {
+			results[i] = 0
+			continue
+		}
+		if rs < h && rtk < h {
+			d, err := hub.DistanceRanked(rs, rtk)
+			if err != nil {
+				return nil, &upstream{err: err}
+			}
+			results[i] = d
+			hubHits++
+			continue
+		}
+		ls, lt := m.Owner(rs), m.Owner(rtk)
+		if ls >= 0 && ls == lt {
+			native[ls] = append(native[ls], i)
+			continue
+		}
+		merges = append(merges, mergePair{idx: i, rs: rs, rt: rtk})
+		if rs >= h {
+			rowOwner[shard.RowKey{Rank: rs}] = ls
+		}
+		if rtk >= h {
+			rowOwner[shard.RowKey{Rank: rtk, In: true}] = lt
+		}
+	}
+	rt.hubLocal.Add(hubHits)
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail *upstream
+		rows = make(map[shard.RowKey][]label.Entry, len(rowOwner))
+	)
+	setFail := func(u upstream) {
+		mu.Lock()
+		if fail == nil {
+			fail = &u
+		}
+		mu.Unlock()
+	}
+
+	// Native sub-batches: the leaf holds both rows, so it answers the
+	// pairs itself over the binary codec, chunked like unsharded batches.
+	for id, idxs := range native {
+		si := leafInfo(m, id)
+		for lo := 0; lo < len(idxs); lo += rt.cfg.ChunkSize {
+			hi := lo + rt.cfg.ChunkSize
+			if hi > len(idxs) {
+				hi = len(idxs)
+			}
+			wg.Add(1)
+			go func(si wire.ShardInfo, chunk []int) {
+				defer wg.Done()
+				sub := make([]wire.QueryPair, len(chunk))
+				for j, i := range chunk {
+					sub[j] = pairs[i]
+				}
+				req := wire.AppendBatchRequest(nil, sub)
+				res := rt.forwardShard(ctx, si, http.MethodPost, "/v1/batch", wire.ContentTypeBinaryBatch, req, fwd, noHedge)
+				if res.err != nil || res.status != http.StatusOK {
+					setFail(res)
+					return
+				}
+				dists, derr := wire.DecodeBatchResponse(nil, res.body)
+				if derr != nil || len(dists) != len(chunk) {
+					setFail(upstream{err: fmt.Errorf("shard [%d,%d) answered a malformed batch: %v", si.Lo, si.Hi, derr)})
+					return
+				}
+				for j, i := range chunk {
+					results[i] = dists[j]
+				}
+			}(si, idxs[lo:hi])
+		}
+	}
+
+	// Row fetches: grouped per owning leaf, chunked, merged locally once
+	// both sides of each mixed pair are in hand.
+	byLeaf := map[int32][]shard.RowKey{}
+	for k, id := range rowOwner {
+		byLeaf[id] = append(byLeaf[id], k)
+	}
+	for id, keys := range byLeaf {
+		si := leafInfo(m, id)
+		rt.rowFetches.Add(int64(len(keys)))
+		for lo := 0; lo < len(keys); lo += rt.cfg.ChunkSize {
+			hi := lo + rt.cfg.ChunkSize
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			wg.Add(1)
+			go func(si wire.ShardInfo, chunk []shard.RowKey) {
+				defer wg.Done()
+				req := shard.AppendRowsRequest(nil, chunk)
+				res := rt.forwardShard(ctx, si, http.MethodPost, "/v1/rows", shard.ContentTypeRows, req, fwd, noHedge)
+				if res.err != nil || res.status != http.StatusOK {
+					setFail(res)
+					return
+				}
+				got, derr := shard.DecodeRowsResponse(res.body)
+				if derr != nil || len(got) != len(chunk) {
+					setFail(upstream{err: fmt.Errorf("shard [%d,%d) answered malformed rows: %v", si.Lo, si.Hi, derr)})
+					return
+				}
+				mu.Lock()
+				for j, k := range chunk {
+					rows[k] = got[j]
+				}
+				mu.Unlock()
+			}(si, keys[lo:hi])
+		}
+	}
+	wg.Wait()
+	if fail != nil {
+		return nil, fail
+	}
+
+	rowFor := func(rank int32, in bool) []label.Entry {
+		if rank < h {
+			if in {
+				row, _ := hub.InRowRanked(rank)
+				return row
+			}
+			row, _ := hub.OutRowRanked(rank)
+			return row
+		}
+		return rows[shard.RowKey{Rank: rank, In: in}]
+	}
+	for _, mp := range merges {
+		results[mp.idx] = label.MergeDistance(rowFor(mp.rs, false), rowFor(mp.rt, true), mp.rs, mp.rt)
+	}
+	return results, nil
+}
+
+// parsePair mirrors the replica server's query-parameter parsing (and
+// its exact error messages) so the sharded distance path is
+// indistinguishable from a replica to clients.
+func parsePair(w http.ResponseWriter, r *http.Request) (sv, tv int32, ok bool) {
+	q := r.URL.Query()
+	parse := func(name string) (int32, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			writeError(w, http.StatusBadRequest, "missing required parameter "+name)
+			return 0, false
+		}
+		v, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter %s=%q is not a vertex id", name, raw))
+			return 0, false
+		}
+		return int32(v), true
+	}
+	if sv, ok = parse("s"); !ok {
+		return 0, 0, false
+	}
+	if tv, ok = parse("t"); !ok {
+		return 0, 0, false
+	}
+	return sv, tv, true
+}

@@ -22,21 +22,118 @@ import (
 // For identical options, BuildExternal produces exactly the same label
 // sets as Build; the test suite enforces this equivalence.
 func BuildExternal(g *graph.Graph, opt Options) (*label.Index, BuildStats, error) {
+	run, err := runExternal(g, opt)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	defer run.cleanup()
+	x, err := run.ex.index()
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	x.SetPerm(run.perm)
+	return x, run.stats(x.Entries()), nil
+}
+
+// LabelFiles exposes a finished external build's sorted label record
+// files to consumers that stream the labels straight into another
+// on-disk layout (shard emission) instead of materializing a
+// label.Index. The files live in the build's temp directory and are
+// deleted when the BuildExternalStream callback returns.
+type LabelFiles struct {
+	N        int32
+	Directed bool
+	Weighted bool
+	// Perm maps original vertex ids to ranks (rank 0 = highest).
+	Perm []int32
+	// Cfg is the extio configuration the record files were written with.
+	Cfg extio.Config
+	// OutOwnerPath holds (owner, pivot, dist) records sorted by
+	// (owner, pivot), both ids in rank space. For undirected graphs the
+	// single label family lives here and InOwnerPath is empty.
+	OutOwnerPath string
+	InOwnerPath  string
+}
+
+// BuildExternalStream runs the external builder and hands the final
+// sorted label files to fn instead of loading them into a label.Index:
+// the full index is never materialized in RAM, which is what makes
+// shard construction for indexes larger than one machine's memory
+// feasible. The files (and their temp directory) are reclaimed as soon
+// as fn returns.
+func BuildExternalStream(g *graph.Graph, opt Options, fn func(*LabelFiles) error) (BuildStats, error) {
+	run, err := runExternal(g, opt)
+	if err != nil {
+		return BuildStats{}, err
+	}
+	defer run.cleanup()
+	entries, err := countRecords(run.ex.outOwner, run.ex.cfg)
+	if err != nil {
+		return BuildStats{}, err
+	}
+	lf := &LabelFiles{
+		N:            g.N(),
+		Directed:     g.Directed(),
+		Weighted:     g.Weighted(),
+		Perm:         run.perm,
+		Cfg:          run.ex.cfg,
+		OutOwnerPath: run.ex.outOwner,
+	}
+	if g.Directed() {
+		lf.InOwnerPath = run.ex.inOwner
+		inEntries, err := countRecords(run.ex.inOwner, run.ex.cfg)
+		if err != nil {
+			return BuildStats{}, err
+		}
+		entries += inEntries
+	}
+	if err := fn(lf); err != nil {
+		return BuildStats{}, err
+	}
+	return run.stats(entries), nil
+}
+
+// extRun is a completed engine run: final label files on disk, ready to
+// be indexed or streamed. cleanup releases the temp directory.
+type extRun struct {
+	ex      *extEngine
+	perm    []int32
+	counter *extio.Counter
+	iters   int
+	start   time.Time
+	cleanup func()
+}
+
+func (r *extRun) stats(entries int64) BuildStats {
+	return BuildStats{
+		Method:          r.ex.opt.Method,
+		Iterations:      r.iters,
+		Workers:         1, // the external builder is serial by design
+		Entries:         entries,
+		Duration:        time.Since(r.start),
+		PerIteration:    r.ex.iters,
+		ReadIOs:         r.counter.Reads(),
+		WriteIOs:        r.counter.Writes(),
+		TotalCandidates: r.ex.totalCandidates,
+		TotalPruned:     r.ex.totalPruned,
+	}
+}
+
+// runExternal ranks the graph and drives the engine to its fixpoint.
+func runExternal(g *graph.Graph, opt Options) (*extRun, error) {
 	opt = opt.withDefaults(g.Directed())
 	if opt.CheckpointDir != "" || opt.Resume {
-		return nil, BuildStats{}, fmt.Errorf("core: checkpointing is in-memory-builder only (CheckpointDir/Resume set on BuildExternal)")
+		return nil, fmt.Errorf("core: checkpointing is in-memory-builder only (CheckpointDir/Resume set on BuildExternal)")
 	}
 	start := time.Now()
 	ranked, perm, err := rankGraph(g, opt)
 	if err != nil {
-		return nil, BuildStats{}, fmt.Errorf("core: ranking failed: %w", err)
+		return nil, fmt.Errorf("core: ranking failed: %w", err)
 	}
 	dir, err := os.MkdirTemp(opt.TempDir, "hopdb-ext-*")
 	if err != nil {
-		return nil, BuildStats{}, err
+		return nil, err
 	}
-	defer os.RemoveAll(dir)
-
 	counter := &extio.Counter{}
 	cfg := extio.Config{
 		BlockRecords:  opt.BlockSize,
@@ -46,30 +143,22 @@ func BuildExternal(g *graph.Graph, opt Options) (*label.Index, BuildStats, error
 	}
 	ex := &extEngine{g: ranked, opt: opt, cfg: cfg, dir: dir}
 	if err := ex.initialize(); err != nil {
-		return nil, BuildStats{}, err
+		os.RemoveAll(dir)
+		return nil, err
 	}
 	iters, err := ex.run()
 	if err != nil {
-		return nil, BuildStats{}, err
+		os.RemoveAll(dir)
+		return nil, err
 	}
-	x, err := ex.index()
-	if err != nil {
-		return nil, BuildStats{}, err
-	}
-	x.SetPerm(perm)
-	stats := BuildStats{
-		Method:          opt.Method,
-		Iterations:      iters,
-		Workers:         1, // the external builder is serial by design
-		Entries:         x.Entries(),
-		Duration:        time.Since(start),
-		PerIteration:    ex.iters,
-		ReadIOs:         counter.Reads(),
-		WriteIOs:        counter.Writes(),
-		TotalCandidates: ex.totalCandidates,
-		TotalPruned:     ex.totalPruned,
-	}
-	return x, stats, nil
+	return &extRun{
+		ex:      ex,
+		perm:    perm,
+		counter: counter,
+		iters:   iters,
+		start:   start,
+		cleanup: func() { os.RemoveAll(dir) },
+	}, nil
 }
 
 // extEngine holds the label files of the external builder. All files

@@ -15,6 +15,7 @@ import (
 	"repro/internal/httpmw"
 	"repro/internal/metrics"
 	"repro/internal/registry"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -30,6 +31,7 @@ type dsState struct {
 	updater hopdb.Updatable
 	rep     hopdb.Replicator
 	pather  hopdb.Pather
+	rows    shard.RowProvider  // non-nil only for shard backends
 	backend hopdb.QuerierStats // snapshot at attach (backend kind, directedness)
 
 	cache    *distCache // nil when disabled
@@ -44,6 +46,7 @@ type dsState struct {
 
 func newDsState(d *registry.Dataset, cfg Config) *dsState {
 	backend := d.Querier().Stats()
+	rows, _ := d.Querier().(shard.RowProvider)
 	return &dsState{
 		ds:      d,
 		q:       d.Querier(),
@@ -52,6 +55,7 @@ func newDsState(d *registry.Dataset, cfg Config) *dsState {
 		updater: d.Updatable(),
 		rep:     d.Replicator(),
 		pather:  d.Pather(),
+		rows:    rows,
 		backend: backend,
 		cache:   newDistCache(cfg.CacheEntries, !backend.Directed),
 	}
@@ -117,6 +121,12 @@ func OpenSpec(spec wire.DatasetSpec) (hopdb.Querier, error) {
 	if spec.Path == "" {
 		return nil, errors.New("dataset spec: one of path or remote is required")
 	}
+	if spec.Shard {
+		if spec.Mmap || spec.Disk || spec.Updates || spec.Graph != "" || spec.BitParallel > 0 {
+			return nil, errors.New("dataset spec: shard cannot be combined with other backend options")
+		}
+		return hopdb.OpenShard(spec.Path)
+	}
 	var opts []hopdb.OpenOption
 	if spec.Mmap {
 		opts = append(opts, hopdb.WithMmap())
@@ -146,7 +156,7 @@ func OpenSpec(spec wire.DatasetSpec) (hopdb.Querier, error) {
 //
 //	name=path[,option...]
 //
-// where options are mmap, disk, updates, directed, weighted,
+// where options are mmap, disk, shard, updates, directed, weighted,
 // graph=FILE, disk-cache=N, bitparallel=N, and stale=F. A path starting
 // with http:// or https:// proxies the dataset from that hopdb-serve
 // instead of opening a file.
@@ -174,6 +184,8 @@ func ParseDatasetFlag(v string) (name string, spec wire.DatasetSpec, err error) 
 			spec.Mmap = true
 		case "disk":
 			spec.Disk = true
+		case "shard":
+			spec.Shard = true
 		case "updates":
 			spec.Updates = true
 		case "directed":

@@ -87,8 +87,10 @@ import (
 
 	hopdb "repro"
 	"repro/internal/httpmw"
+	"repro/internal/label"
 	"repro/internal/metrics"
 	"repro/internal/registry"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -319,6 +321,12 @@ func (s *Server) buildHandler() http.Handler {
 	}
 	for _, p := range []string{"/v1", ""} {
 		mux.HandleFunc(p+"/healthz", s.handleHealthz)
+	}
+	// Row fetches: the scatter-gather primitive of sharded serving
+	// (post-dates the unversioned aliases, so no "" spelling is owed).
+	rows := qt(s.dsRoute(ScopeRead, s.handleRows, http.MethodPost))
+	for _, p := range []string{"/v1/{dataset}", "/v1"} {
+		mux.Handle(p+"/rows", rows)
 	}
 	// The dataset admin surface: edges and the replication log are
 	// dataset-scoped (flat /v1/admin/* aliases the default dataset; no
@@ -662,6 +670,58 @@ func (s *Server) handleBatchBinary(st *dsState, w http.ResponseWriter, r *http.R
 	w.Header().Set("Content-Type", wire.ContentTypeBinaryBatch)
 	w.WriteHeader(http.StatusOK)
 	w.Write(qc.bin)
+}
+
+// handleRows serves POST /v1/{ds}/rows: raw label rows by rank, the
+// scatter-gather primitive a sharded router merges locally. Only shard
+// backends implement the row provider contract; everything else
+// answers 501. Asking for a rank outside the shard's owned range is a
+// routing error (stale shard map), answered 502 so the router retries
+// elsewhere.
+func (s *Server) handleRows(st *dsState, w http.ResponseWriter, r *http.Request) {
+	if st.rows == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("backend %q does not serve label rows (shard backends only)", st.backend.Backend))
+		return
+	}
+	// Keys are 4 bytes each; a batch of MaxBatch pairs needs at most
+	// 2*MaxBatch rows, so the exact bound mirrors the binary batch one.
+	maxBody := int64(s.cfg.MaxBatch)*8 + 8
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	buf, err := readAllInto(nil, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes (max-batch is %d pairs)", maxBody, s.cfg.MaxBatch))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	keys, err := shard.DecodeRowsRequest(buf)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rows := make([][]label.Entry, len(keys))
+	for i, k := range keys {
+		var ok bool
+		if k.In {
+			rows[i], ok = st.rows.InRowRanked(k.Rank)
+		} else {
+			rows[i], ok = st.rows.OutRowRanked(k.Rank)
+		}
+		if !ok {
+			writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("rank %d is outside this shard's owned range (stale shard map?)", k.Rank))
+			return
+		}
+	}
+	out := shard.AppendRowsResponse(nil, rows)
+	w.Header().Set("Content-Type", shard.ContentTypeRows)
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
 }
 
 func (s *Server) handleBatchJSON(st *dsState, w http.ResponseWriter, r *http.Request) {
@@ -1023,6 +1083,7 @@ func (s *Server) statsFor(st *dsState) StatsResult {
 		UptimeSeconds: uptime,
 		Queries:       queries,
 		Datasets:      s.reg.Names(),
+		Shard:         bst.Shard,
 	}
 	if uptime > 0 {
 		res.QPS = float64(queries) / uptime

@@ -1,0 +1,147 @@
+// Querier adapter: a loaded Shard satisfies the repo-wide Querier
+// contract (Distance/DistanceBatchInto/N/Stats/Close) plus the
+// error-reporting Lookuper/LookupBatcher extensions, answering pairs
+// whose ranks it owns and reporting a routing error for the rest.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/label"
+	"repro/internal/wire"
+)
+
+// Info is the shard's advertised identity for /v1/stats.
+func (s *Shard) Info() wire.ShardInfo {
+	return wire.ShardInfo{Lo: s.Lo, Hi: s.Hi, Hub: s.Hub}
+}
+
+// RowProvider is the row-fetch contract behind POST /v1/rows: backends
+// that can hand out raw label rows by rank for router-local merging.
+// Only shard backends implement it.
+type RowProvider interface {
+	OutRowRanked(rank int32) ([]label.Entry, bool)
+	InRowRanked(rank int32) ([]label.Entry, bool)
+}
+
+// rankOf translates an in-range original vertex id to its rank.
+func (s *Shard) rankOf(v int32) int32 {
+	if s.Perm == nil {
+		return v
+	}
+	return s.Perm[v]
+}
+
+// DistanceRanked answers a pair of ranks this shard owns; asking about
+// an unowned rank is a routing error. rs == rt answers 0 regardless of
+// ownership (the answer is rank-independent).
+func (s *Shard) DistanceRanked(rs, rt int32) (uint32, error) {
+	if rs == rt {
+		return 0, nil
+	}
+	out, ok := s.OutRowRanked(rs)
+	if !ok {
+		return wire.Infinity, fmt.Errorf("shard: rank %d outside owned range [%d,%d)", rs, s.Lo, s.Hi)
+	}
+	in, ok := s.InRowRanked(rt)
+	if !ok {
+		return wire.Infinity, fmt.Errorf("shard: rank %d outside owned range [%d,%d)", rt, s.Lo, s.Hi)
+	}
+	return label.MergeDistance(out, in, rs, rt), nil
+}
+
+// Lookup implements Lookuper: out-of-range vertex ids answer
+// (Infinity, false) like every backend, and a pair whose ranks this
+// shard does not own reports an error (the router never sends one).
+func (s *Shard) Lookup(sv, tv int32) (uint32, bool, error) {
+	if sv < 0 || tv < 0 || sv >= s.NumVertices || tv >= s.NumVertices {
+		return wire.Infinity, false, nil
+	}
+	d, err := s.DistanceRanked(s.rankOf(sv), s.rankOf(tv))
+	if err != nil {
+		return wire.Infinity, false, err
+	}
+	return d, d != wire.Infinity, nil
+}
+
+// Distance implements Querier. The Querier methods report
+// reachability, not errors, so an unowned pair answers
+// (Infinity, false); routed callers use Lookup / LookupBatchInto.
+func (s *Shard) Distance(sv, tv int32) (uint32, bool) {
+	d, ok, _ := s.Lookup(sv, tv)
+	return d, ok
+}
+
+// DistanceBatchInto implements Querier over the owned range.
+func (s *Shard) DistanceBatchInto(results []uint32, pairs []wire.QueryPair, workers int) []uint32 {
+	out, _ := s.LookupBatchInto(results, pairs, workers)
+	return out
+}
+
+// LookupBatchInto implements LookupBatcher: pairs are sharded across
+// workers and the first ownership error is reported (errored pairs
+// answer Infinity in results).
+func (s *Shard) LookupBatchInto(results []uint32, pairs []wire.QueryPair, workers int) ([]uint32, error) {
+	results = results[:len(pairs)]
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	run := func(pairs []wire.QueryPair, results []uint32) {
+		for i, p := range pairs {
+			d, _, err := s.Lookup(p.S, p.T)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				d = wire.Infinity
+			}
+			results[i] = d
+		}
+	}
+	if len(pairs) == 0 {
+		return results, nil
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		run(pairs, results)
+		return results, firstErr
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(pairs[lo:hi], results[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// N implements Querier: the global vertex count, so id validation
+// matches the unsharded index exactly.
+func (s *Shard) N() int32 { return s.NumVertices }
+
+// Stats implements Querier, advertising the owned rank range.
+func (s *Shard) Stats() wire.QuerierStats {
+	info := s.Info()
+	return wire.QuerierStats{
+		Backend:   wire.BackendShard,
+		Kernel:    wire.KernelScalar,
+		Directed:  s.Directed,
+		Vertices:  s.NumVertices,
+		Entries:   s.Entries(),
+		SizeBytes: s.SizeBytes(),
+		Shard:     &info,
+	}
+}
+
+// Close implements Querier; shard labels are plain heap memory.
+func (s *Shard) Close() error { return nil }

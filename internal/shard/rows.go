@@ -1,0 +1,126 @@
+// Row-fetch wire codec: the scatter-gather primitive of sharded
+// serving. A router that needs Out(rank(s)) and In(rank(t)) from two
+// different shards POSTs a batch of row keys to each owning shard's
+// /v1/rows and merges the returned label rows locally.
+//
+// Request ("HRQ1"): magic, uint32 count, then count uint32 keys — the
+// rank in the low 31 bits, high bit set for the In family.
+// Response ("HRR1"): magic, uint32 count, count uint32 row lengths,
+// then the rows' entries concatenated (pivot uint32, dist uint32).
+// All integers little-endian.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/label"
+)
+
+// ContentTypeRows is the MIME type of the row-fetch request and
+// response bodies.
+const ContentTypeRows = "application/x-hopdb-rows"
+
+const (
+	rowsReqMagic  = "HRQ1"
+	rowsRespMagic = "HRR1"
+	rowsInBit     = uint32(1) << 31
+)
+
+// RowKey names one label row: a rank and which family (Out or In).
+type RowKey struct {
+	Rank int32
+	In   bool
+}
+
+// AppendRowsRequest appends the encoded row-fetch request for keys to
+// dst and returns the extended slice.
+func AppendRowsRequest(dst []byte, keys []RowKey) []byte {
+	dst = append(dst, rowsReqMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		v := uint32(k.Rank)
+		if k.In {
+			v |= rowsInBit
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// DecodeRowsRequest parses a row-fetch request body.
+func DecodeRowsRequest(b []byte) ([]RowKey, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("shard: rows request too short (%d bytes)", len(b))
+	}
+	if string(b[:4]) != rowsReqMagic {
+		return nil, fmt.Errorf("shard: bad rows request magic %q", b[:4])
+	}
+	count := binary.LittleEndian.Uint32(b[4:8])
+	if int64(len(b)) != 8+int64(count)*4 {
+		return nil, fmt.Errorf("shard: rows request length %d does not match %d keys", len(b), count)
+	}
+	keys := make([]RowKey, count)
+	for i := range keys {
+		v := binary.LittleEndian.Uint32(b[8+4*i:])
+		keys[i] = RowKey{Rank: int32(v &^ rowsInBit), In: v&rowsInBit != 0}
+	}
+	return keys, nil
+}
+
+// AppendRowsResponse appends the encoded response carrying rows (in
+// request key order) to dst and returns the extended slice.
+func AppendRowsResponse(dst []byte, rows [][]label.Entry) []byte {
+	dst = append(dst, rowsRespMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rows)))
+	for _, row := range rows {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(row)))
+	}
+	for _, row := range rows {
+		for _, e := range row {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Pivot))
+			dst = binary.LittleEndian.AppendUint32(dst, e.Dist)
+		}
+	}
+	return dst
+}
+
+// DecodeRowsResponse parses a row-fetch response body. Returned rows
+// are freshly allocated (no aliasing into b).
+func DecodeRowsResponse(b []byte) ([][]label.Entry, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("shard: rows response too short (%d bytes)", len(b))
+	}
+	if string(b[:4]) != rowsRespMagic {
+		return nil, fmt.Errorf("shard: bad rows response magic %q", b[:4])
+	}
+	count := int64(binary.LittleEndian.Uint32(b[4:8]))
+	if int64(len(b)) < 8+count*4 {
+		return nil, fmt.Errorf("shard: rows response length %d too short for %d row lengths", len(b), count)
+	}
+	lens := make([]int64, count)
+	var total int64
+	for i := range lens {
+		lens[i] = int64(binary.LittleEndian.Uint32(b[8+4*int64(i):]))
+		total += lens[i]
+	}
+	pos := 8 + count*4
+	if int64(len(b)) != pos+total*8 {
+		return nil, fmt.Errorf("shard: rows response length %d does not match %d entries", len(b), total)
+	}
+	rows := make([][]label.Entry, count)
+	flat := make([]label.Entry, total)
+	for i := range flat {
+		flat[i] = label.Entry{
+			Pivot: int32(binary.LittleEndian.Uint32(b[pos:])),
+			Dist:  binary.LittleEndian.Uint32(b[pos+4:]),
+		}
+		pos += 8
+	}
+	var off int64
+	for i, n := range lens {
+		rows[i] = flat[off : off+n : off+n]
+		off += n
+	}
+	return rows, nil
+}

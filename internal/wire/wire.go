@@ -49,7 +49,21 @@ const (
 	// BackendRouter is the stateless fan-out tier (cmd/hopdb-router): it
 	// holds no labels itself and balances queries across a replica fleet.
 	BackendRouter Backend = "router"
+	// BackendShard serves one contiguous rank range of a partitioned
+	// index (hopdb-serve -shard): it holds only its range's label rows
+	// plus the shared perm, and answers pairs whose ranks it owns.
+	BackendShard Backend = "shard"
 )
+
+// ShardInfo identifies the rank range a shard backend owns: ranks
+// [Lo, Hi) of the globally ranked index, with Hub marking the replicated
+// top-rank tier. Advertised in /v1/stats so routers can build scatter-
+// gather plans from the fleet itself.
+type ShardInfo struct {
+	Lo  int32 `json:"lo"`
+	Hi  int32 `json:"hi"`
+	Hub bool  `json:"hub,omitempty"`
+}
 
 // Kernel identifies which merge kernel answers a backend's distance
 // queries, reported by Stats, /v1/stats, and hopdb-query so bench runs
@@ -89,6 +103,9 @@ type QuerierStats struct {
 	SizeBytes int64
 	// BitParallel reports whether bit-parallel acceleration is active.
 	BitParallel bool
+	// Shard is the owned rank range of a shard backend; nil for backends
+	// holding the whole index.
+	Shard *ShardInfo
 }
 
 // Path reconstruction errors, shared so the HTTP client can return the
@@ -157,6 +174,10 @@ type StatsResult struct {
 	// Routers scatter a dataset's queries only to replicas advertising it
 	// here; an absent list (a pre-multi-tenant server) means {"default"}.
 	Datasets []string `json:"datasets,omitempty"`
+	// Shard advertises the owned rank range of a shard backend; routers
+	// use it to resolve which replicas own which ranks. Absent on
+	// backends holding the whole index.
+	Shard *ShardInfo `json:"shard,omitempty"`
 }
 
 // UpdateStats describes what online label maintenance has done so far;
@@ -254,7 +275,7 @@ const DefaultDataset = "default"
 var reservedDatasetNames = map[string]bool{
 	"admin": true, "batch": true, "datasets": true, "debug": true,
 	"distance": true, "healthz": true, "metrics": true, "path": true,
-	"stats": true, "v1": true,
+	"rows": true, "stats": true, "v1": true,
 }
 
 // ValidateDatasetName reports whether name can name a dataset: 1-64
@@ -311,6 +332,10 @@ type DatasetSpec struct {
 	// StaleFraction is the staleness threshold that forces a full label
 	// rebuild for Updates backends; 0 selects the default.
 	StaleFraction float64 `json:"stale_fraction,omitempty"`
+	// Shard opens Path as a rank-shard file written by hopdb-build
+	// -shards (serves only its rank range; incompatible with every other
+	// option).
+	Shard bool `json:"shard,omitempty"`
 }
 
 // EdgeOp is one edge mutation of an update batch: the body element of

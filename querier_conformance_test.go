@@ -11,10 +11,13 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	hopdb "repro"
+	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/sp"
 )
 
@@ -153,7 +156,57 @@ func openBackends(t *testing.T, g *hopdb.Graph, gc confGraph) []confBackend {
 			open("bitparallel", hopdb.BackendHeap, hopdb.KernelBitParallel, idxPath,
 				hopdb.WithGraph(g), hopdb.WithBitParallel(8)))
 	}
+	// The sharded deployment: rank shards behind a scatter-gather
+	// router, reached through the same remote client. Byte-identical
+	// answers here are the acceptance criterion for sharded serving.
+	backends = append(backends, confBackend{
+		name: "sharded", kind: hopdb.BackendRemote, querier: openSharded(t, g),
+	})
 	return backends
+}
+
+// openSharded stands up the full sharded serving stack for g — three
+// leaf shards plus a hub tier built through the external-memory
+// pipeline, one HTTP server per leaf, and a scatter-gather router
+// fronting them with the hub router-resident — and returns a remote
+// client opened against the router.
+func openSharded(t *testing.T, g *hopdb.Graph) hopdb.Querier {
+	t.Helper()
+	dir := t.TempDir()
+	m, _, err := hopdb.BuildShards(g, hopdb.Options{}, hopdb.ShardConfig{Shards: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	for _, sh := range m.Shards {
+		leaf, err := hopdb.OpenShard(filepath.Join(dir, sh.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { leaf.Close() })
+		srv := server.New(leaf, server.Config{Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	hub, err := shard.Load(filepath.Join(dir, m.HubFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cluster.NewPool(urls, nil, time.Hour)
+	pool.Probe()
+	rt, err := cluster.NewRouter(pool, cluster.RouterConfig{ShardMap: m, Hub: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	q, err := hopdb.Open("", hopdb.WithRemote(rts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
 }
 
 // TestQuerierConformance runs every backend over every graph and demands

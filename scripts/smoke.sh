@@ -7,6 +7,11 @@
 # hopdb-router, an update applied through the router's admin proxy,
 # replication convergence, read-your-writes through the router, and a
 # replica kill mid-serving with zero failed queries.
+# Then the shard stage: the same graph cut into 4 rank shards plus a
+# hub tier, each leaf served by hopdb-serve -shard, the router
+# scatter-gathering with the hub router-resident — answers diffed
+# byte-for-byte against hopdb-query, per-leaf resident bytes bounded
+# by 1/N of the index plus the hub, and a shard-replica kill mid-storm.
 # Run from the repo root (CI runs it as a dedicated job); needs curl.
 set -euo pipefail
 
@@ -270,5 +275,61 @@ curl -fsS "$PRIMARY/v1/metrics" | grep -q '^hopdb_queries_total ' || { echo "pri
 echo "== hedging A/B through hopdb-bench serve -hedge"
 "$tmp/bin/hopdb-bench" -url "$ROUTER" -requests 200 -conc 4 -hedge serve | tee "$tmp/hedge.txt"
 grep -q 'p99 delta with hedging' "$tmp/hedge.txt" || { echo "hedge comparison output missing" >&2; exit 1; }
+
+echo "== shards: cutting the index into 4 rank shards plus a hub tier"
+"$tmp/bin/hopdb-build" -in "$tmp/g.txt" -shards 4 -shard-dir "$tmp/shards"
+for f in hub.sidx leaf0.sidx leaf1.sidx leaf2.sidx leaf3.sidx shard.json; do
+  [ -f "$tmp/shards/$f" ] || { echo "shard build did not write $f" >&2; exit 1; }
+done
+
+echo "== serving the leaves (leaf0 twice) behind a scatter-gather router"
+SPR=$((PORT+10))
+SROUTER="http://127.0.0.1:$SPR"
+shard_urls=""
+shard_replica_pid=""
+spn=0
+for i in 0 1 2 3 0; do
+  sp=$((PORT+5+spn)); spn=$((spn+1))   # ports PORT+5..PORT+9
+  "$tmp/bin/hopdb-serve" -shard "$tmp/shards/leaf$i.sidx" -shard-map "$tmp/shards/shard.json" \
+    -addr "127.0.0.1:$sp" &
+  sp_pid=$!; pids="$pids $sp_pid"
+  shard_replica_pid=$sp_pid   # ends up holding the last server: leaf0's extra replica
+  wait_healthy_at "http://127.0.0.1:$sp" "$sp_pid"
+  shard_urls="$shard_urls${shard_urls:+,}http://127.0.0.1:$sp"
+done
+"$tmp/bin/hopdb-router" -replicas "$shard_urls" -shard-map "$tmp/shards/shard.json" \
+  -addr "127.0.0.1:$SPR" &
+srouter_pid=$!; pids="$pids $srouter_pid"
+wait_healthy_at "$SROUTER" "$srouter_pid"
+
+echo "== diffing sharded answers byte-for-byte against hopdb-query"
+while read -r s t; do
+  curl -fsS "$SROUTER/v1/distance?s=$s&t=$t"
+done <"$tmp/pairs.txt" >"$tmp/served_sharded.jsonl"
+diff -u "$tmp/expected.jsonl" "$tmp/served_sharded.jsonl" || { echo "sharded answers diverge from hopdb-query" >&2; exit 1; }
+curl -fsS -X POST --data-binary @"$tmp/batch.json" "$SROUTER/v1/batch" >"$tmp/served_sharded_batch.json"
+diff -u "$tmp/expected_batch.json" "$tmp/served_sharded_batch.json" || { echo "sharded batch diverges from hopdb-query" >&2; exit 1; }
+
+echo "== per-leaf resident bytes stay within 1/N of the index plus the hub tier"
+hub_entries=$(grep -o '"hub_entries": *[0-9]*' "$tmp/shards/shard.json" | grep -o '[0-9]*$')
+total_entries=$(grep -o '"entries": *[0-9]*' "$tmp/shards/shard.json" | grep -o '[0-9]*$' \
+  | awk -v hub="$hub_entries" '{ s += $1 } END { print s + hub }')
+bound=$(awk -v t="$total_entries" -v h="$hub_entries" 'BEGIN { print int(t * 8 / 4) + h * 8 }')
+for u in $(echo "$shard_urls" | tr ',' ' '); do
+  size=$(curl -fsS "$u/v1/stats" | grep -o '"size_bytes":[0-9]*' | head -1 | cut -d: -f2)
+  [ "$size" -le "$bound" ] || { echo "leaf at $u holds $size label bytes, bound is $bound" >&2; exit 1; }
+done
+curl -fsS "$SROUTER/v1/stats" >"$tmp/sstats.json"
+grep -q "\"entries\":$total_entries" "$tmp/sstats.json" \
+  || { echo "router stats do not sum shard entries to $total_entries: $(cat "$tmp/sstats.json")" >&2; exit 1; }
+rf=$(grep -o '"row_fetches":[0-9]*' "$tmp/sstats.json" | cut -d: -f2)
+[ "${rf:-0}" -gt 0 ] || { echo "router reports no row fetches after a scatter-gather storm" >&2; exit 1; }
+
+echo "== killing leaf0's extra replica mid-storm; answers must not change"
+kill -9 "$shard_replica_pid"
+while read -r s t; do
+  curl -fsS "$SROUTER/v1/distance?s=$s&t=$t"
+done <"$tmp/pairs.txt" >"$tmp/served_sharded_degraded.jsonl"
+diff -u "$tmp/expected.jsonl" "$tmp/served_sharded_degraded.jsonl" || { echo "sharded answers changed after the replica kill" >&2; exit 1; }
 
 echo "smoke OK"

@@ -1,0 +1,98 @@
+package hopdb_test
+
+// BenchmarkShardedBatch sits in the CI regression gate next to
+// BenchmarkDistance/LoadIndex/BuildRanked: it measures the router's
+// scatter-gather batch path end to end — classification, hub-local
+// answers, native same-leaf chunks, row fetches over /v1/rows, and the
+// local merge — over real HTTP to four leaf shards.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	hopdb "repro"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+func BenchmarkShardedBatch(b *testing.B) {
+	g, err := gen.GLP(gen.DefaultGLP(2000, 4, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	m, _, err := hopdb.BuildShards(g, hopdb.Options{}, hopdb.ShardConfig{Shards: 4, Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var urls []string
+	for _, sh := range m.Shards {
+		leaf, err := hopdb.OpenShard(filepath.Join(dir, sh.File))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { leaf.Close() })
+		ts := httptest.NewServer(server.New(leaf, server.Config{Workers: 2}).Handler())
+		b.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	hub, err := shard.Load(filepath.Join(dir, m.HubFile))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := cluster.NewPool(urls, nil, time.Hour)
+	pool.Probe()
+	rt, err := cluster.NewRouter(pool, cluster.RouterConfig{ShardMap: m, Hub: hub})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	b.Cleanup(rts.Close)
+
+	// A deterministic mix of hub-local, same-leaf, and cross-shard pairs.
+	const pairsPerBatch = 256
+	pairs := make([]wire.QueryPair, pairsPerBatch)
+	n := g.N()
+	for i := range pairs {
+		pairs[i] = wire.QueryPair{S: int32(i*37) % n, T: int32(i*91+13) % n}
+	}
+	body := wire.AppendBatchRequest(nil, pairs)
+	dists := make([]uint32, 0, pairsPerBatch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(rts.URL+"/v1/batch", wire.ContentTypeBinaryBatch, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch returned %d: %s", resp.StatusCode, raw)
+		}
+		if dists, err = wire.DecodeBatchResponse(dists[:0], raw); err != nil {
+			b.Fatal(err)
+		}
+		if len(dists) != pairsPerBatch {
+			b.Fatalf("got %d answers, want %d", len(dists), pairsPerBatch)
+		}
+	}
+	b.StopTimer()
+	st := rt.Stats()
+	b.ReportMetric(float64(pairsPerBatch)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+	if st.HubLocal == 0 || st.RowFetches == 0 {
+		b.Fatalf("benchmark did not exercise the sharded paths: hub_local=%d row_fetches=%d", st.HubLocal, st.RowFetches)
+	}
+}

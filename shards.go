@@ -1,0 +1,61 @@
+package hopdb
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// ShardConfig configures BuildShards.
+type ShardConfig struct {
+	// Shards is the number of leaf shards (>= 1).
+	Shards int
+	// HubRanks is the hub tier size in ranks; 0 selects the default
+	// rule (ceil(sqrt(n)), see internal/shard.DefaultHubRanks).
+	HubRanks int32
+	// Dir is the output directory for the shard files and shard.json.
+	Dir string
+}
+
+// BuildShards builds the index for g with the external-memory pipeline
+// and partitions it by contiguous rank ranges into cfg.Shards leaf
+// shard files plus a replicated hub shard holding the top-rank tier,
+// all written under cfg.Dir together with the shard.json map. The full
+// index is never materialized in RAM: labels stream from the external
+// builder's sorted record files straight into the shard files.
+//
+// Serve each leaf file with hopdb-serve -shard, and point hopdb-router
+// -shard-map at shard.json for scatter-gather routing.
+func BuildShards(g *Graph, opt Options, cfg ShardConfig) (*shard.Map, Stats, error) {
+	if opt.CheckpointDir != "" || opt.Resume {
+		return nil, Stats{}, fmt.Errorf("hopdb: BuildShards: checkpointing is in-memory-builder only")
+	}
+	var m *shard.Map
+	st, err := core.BuildExternalStream(g, coreOptions(opt), func(lf *core.LabelFiles) error {
+		var werr error
+		m, werr = shard.WriteShards(lf, shard.BuildConfig{
+			Shards:   cfg.Shards,
+			HubRanks: cfg.HubRanks,
+			Dir:      cfg.Dir,
+		})
+		return werr
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return m, st, nil
+}
+
+// OpenShard opens one rank-shard file written by BuildShards (or
+// hopdb-build -shards) as a Querier serving only its rank range: pairs
+// whose ranks it owns answer exactly like the full index, and the rest
+// are routing errors surfaced through the Lookuper extension. The
+// backend kind is BackendShard.
+func OpenShard(path string) (Querier, error) {
+	s, err := shard.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
